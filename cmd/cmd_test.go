@@ -1,0 +1,152 @@
+// Package cmd_test builds the repository's binaries and smoke-tests their
+// command-line surfaces end to end: tracegen → schedinspect train → eval →
+// inspect → inspectord serving the trained model over HTTP.
+package cmd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildAll compiles every cmd/ binary once into a shared temp dir.
+func buildAll(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{"tracegen", "schedinspect", "inspectord", "expreport"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./"+name)
+		cmd.Dir = mustSelfDir(t)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+	}
+	return dir
+}
+
+// mustSelfDir returns the cmd/ directory (where this test file lives).
+func mustSelfDir(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test skipped in -short mode")
+	}
+	bins := buildAll(t)
+	work := t.TempDir()
+	swf := filepath.Join(work, "trace.swf.gz")
+	model := filepath.Join(work, "model.gob")
+
+	// tracegen: emit a small gzipped SWF trace.
+	out := run(t, filepath.Join(bins, "tracegen"), "-trace", "SDSC-SP2", "-jobs", "3000", "-o", swf)
+	if _, err := os.Stat(swf); err != nil {
+		t.Fatalf("tracegen produced no file: %v\n%s", err, out)
+	}
+
+	// schedinspect stats on the generated file.
+	out = run(t, filepath.Join(bins, "schedinspect"), "stats", "-swf", swf)
+	if !strings.Contains(out, "3000 jobs") || !strings.Contains(out, "cluster 128") {
+		t.Fatalf("stats output unexpected:\n%s", out)
+	}
+
+	// train a tiny model on the SWF trace.
+	out = run(t, filepath.Join(bins, "schedinspect"), "train",
+		"-swf", swf, "-policy", "SJF", "-metric", "bsld",
+		"-epochs", "2", "-batch", "4", "-seqlen", "64", "-model", model)
+	if !strings.Contains(out, "model saved") {
+		t.Fatalf("train did not save:\n%s", out)
+	}
+
+	// evaluate the model.
+	out = run(t, filepath.Join(bins, "schedinspect"), "eval",
+		"-swf", swf, "-policy", "SJF", "-metric", "bsld",
+		"-sequences", "3", "-seqlen", "64", "-model", model)
+	if !strings.Contains(out, "mean improvement") {
+		t.Fatalf("eval output unexpected:\n%s", out)
+	}
+
+	// §5 analysis over the trace.
+	out = run(t, filepath.Join(bins, "schedinspect"), "inspect",
+		"-swf", swf, "-policy", "SJF", "-model", model)
+	if !strings.Contains(out, "queue_delays") {
+		t.Fatalf("inspect output unexpected:\n%s", out)
+	}
+
+	// expreport: list and one tiny experiment.
+	out = run(t, filepath.Join(bins, "expreport"), "-list")
+	if !strings.Contains(out, "fig13") || !strings.Contains(out, "rlsched") {
+		t.Fatalf("expreport -list unexpected:\n%s", out)
+	}
+	out = run(t, filepath.Join(bins, "expreport"), "-tiny", "-exp", "table1")
+	if !strings.Contains(out, "Case(b)-Inspected") {
+		t.Fatalf("expreport table1 unexpected:\n%s", out)
+	}
+
+	// inspectord: serve the trained model and query it.
+	srv := exec.Command(filepath.Join(bins, "inspectord"), "-model", model, "-addr", "127.0.0.1:18642")
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+	var resp *http.Response
+	var err error
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get("http://127.0.0.1:18642/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("inspectord never came up: %v", err)
+	}
+	var info struct {
+		FeatureMode string `json:"feature_mode"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if info.FeatureMode != "manual" {
+		t.Fatalf("served model info: %+v", info)
+	}
+	body := `{"job":{"wait":120,"est":3600,"procs":16},"free_procs":32,"total_procs":128}`
+	resp, err = http.Post("http://127.0.0.1:18642/v1/inspect", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var verdict struct {
+		RejectProb float64 `json:"reject_prob"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&verdict); err != nil {
+		t.Fatal(err)
+	}
+	if verdict.RejectProb < 0 || verdict.RejectProb > 1 {
+		t.Fatalf("reject prob %v", verdict.RejectProb)
+	}
+}

@@ -1,0 +1,53 @@
+// Command inspectord serves a trained SchedInspector model over HTTP/JSON,
+// the integration surface a production scheduler would call at each
+// scheduling point (the paper's §7 Slurm-integration direction).
+//
+//	inspectord -model model.gob -addr :8642
+//
+// Endpoints:
+//
+//	POST /v1/inspect  — scheduling context in, {reject, reject_prob} out
+//	GET  /v1/info     — served model description
+//	GET  /healthz     — alias of /v1/info
+//
+// Example request:
+//
+//	curl -s localhost:8642/v1/inspect -d '{
+//	  "job": {"wait": 120, "est": 3600, "procs": 16},
+//	  "free_procs": 32, "total_procs": 128,
+//	  "queue": [{"wait": 60, "est": 600, "procs": 4}]
+//	}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"schedinspector/internal/core"
+	"schedinspector/internal/serve"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "model.gob", "trained model path (see schedinspect train)")
+		addr  = flag.String("addr", ":8642", "listen address")
+		seed  = flag.Int64("seed", 0, "decision-sampling seed (0 = time-based)")
+	)
+	flag.Parse()
+
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	insp, err := core.LoadInspectorFile(*model, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		log.Fatalf("inspectord: %v", err)
+	}
+	h := serve.NewHandler(insp)
+	fmt.Printf("inspectord: serving %s model (%s features, cluster %d) on %s\n",
+		insp.Norm.Metric, insp.Mode, insp.Norm.MaxProcs, *addr)
+	log.Fatal(http.ListenAndServe(*addr, h))
+}

@@ -1,0 +1,279 @@
+// Command schedinspect trains, evaluates and inspects SchedInspector models
+// from the command line.
+//
+// Subcommands:
+//
+//	schedinspect train -trace SDSC-SP2 -policy SJF -metric bsld -epochs 40 -model model.gob
+//	schedinspect eval  -trace SDSC-SP2 -policy SJF -metric bsld -model model.gob
+//	schedinspect stats -trace SDSC-SP2
+//
+// Traces are either one of the built-in synthetic workloads ("SDSC-SP2",
+// "CTC-SP2", "HPC2N", "Lublin") or a Standard Workload Format file given
+// with -swf.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	insp "schedinspector"
+	"schedinspector/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "schedinspect: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedinspect:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  schedinspect train -trace NAME [-swf FILE] -policy SJF -metric bsld [-epochs N] [-batch N] [-backfill] -model OUT.gob
+  schedinspect eval  -trace NAME [-swf FILE] -policy SJF -metric bsld [-sequences N] [-backfill] -model IN.gob
+  schedinspect stats -trace NAME [-swf FILE]
+  schedinspect inspect -trace NAME [-swf FILE] -policy SJF -model IN.gob`)
+}
+
+// traceFlags adds the shared trace-selection flags to fs.
+func traceFlags(fs *flag.FlagSet) (name *string, swf *string, jobs *int, seed *int64) {
+	name = fs.String("trace", "SDSC-SP2", "built-in trace name (SDSC-SP2, CTC-SP2, HPC2N, Lublin)")
+	swf = fs.String("swf", "", "load the trace from a Standard Workload Format file instead")
+	jobs = fs.Int("jobs", 20000, "jobs to generate for built-in traces")
+	seed = fs.Int64("seed", 42, "generator seed for built-in traces")
+	return
+}
+
+func loadTrace(name, swf string, jobs int, seed int64) (*insp.Trace, error) {
+	if swf == "" {
+		return insp.GenerateTrace(name, jobs, seed), nil
+	}
+	return insp.ParseSWFFile(swf) // handles .gz transparently
+}
+
+func policyFor(name string, tr *insp.Trace) (insp.Policy, error) {
+	if name == "Slurm" {
+		return insp.NewSlurm(tr), nil
+	}
+	return insp.PolicyByName(name)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	name, swf, jobs, seed := traceFlags(fs)
+	polName := fs.String("policy", "SJF", "base scheduling policy (FCFS, LCFS, SJF, SQF, SAF, SRF, F1, Slurm)")
+	metric := fs.String("metric", "bsld", "metric to optimize (bsld, wait, mbsld)")
+	epochs := fs.Int("epochs", 40, "training epochs")
+	batch := fs.Int("batch", 50, "trajectories per epoch")
+	seqLen := fs.Int("seqlen", 128, "jobs per trajectory")
+	backfill := fs.Bool("backfill", false, "enable EASY backfilling")
+	features := fs.String("features", "manual", "feature mode (manual, compacted, native)")
+	reward := fs.String("reward", "percentage", "reward function (percentage, native, winloss)")
+	model := fs.String("model", "model.gob", "output model path")
+	fs.Parse(args)
+
+	tr, err := loadTrace(*name, *swf, *jobs, *seed)
+	if err != nil {
+		return err
+	}
+	pol, err := policyFor(*polName, tr)
+	if err != nil {
+		return err
+	}
+	m, err := insp.ParseMetric(*metric)
+	if err != nil {
+		return err
+	}
+	var cfg insp.TrainConfig
+	cfg.Trace, cfg.Policy, cfg.Metric = tr, pol, m
+	cfg.Backfill = *backfill
+	cfg.Batch, cfg.SeqLen, cfg.Seed = *batch, *seqLen, *seed
+	if cfg.FeatureMode, err = parseFeatures(*features); err != nil {
+		return err
+	}
+	if cfg.RewardKind, err = parseReward(*reward); err != nil {
+		return err
+	}
+	trainer, err := insp.NewTrainer(cfg)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	_, err = trainer.Train(*epochs, func(st insp.EpochStats) {
+		fmt.Printf("epoch %3d/%d: improvement %9.2f (%+.1f%%), rejection ratio %.2f\n",
+			st.Epoch, *epochs, st.MeanImprovement, 100*st.MeanPctImprovement, st.RejectionRatio)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trained in %v\n", time.Since(t0).Round(time.Second))
+	if err := trainer.Inspector().SaveFile(*model); err != nil {
+		return err
+	}
+	fmt.Printf("model saved to %s\n", *model)
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	name, swf, jobs, seed := traceFlags(fs)
+	polName := fs.String("policy", "SJF", "base scheduling policy")
+	metric := fs.String("metric", "bsld", "metric to report (bsld, wait, mbsld, util)")
+	sequences := fs.Int("sequences", 50, "sampled test sequences")
+	seqLen := fs.Int("seqlen", 256, "jobs per test sequence")
+	backfill := fs.Bool("backfill", false, "enable EASY backfilling")
+	model := fs.String("model", "model.gob", "trained model path")
+	fs.Parse(args)
+
+	tr, err := loadTrace(*name, *swf, *jobs, *seed)
+	if err != nil {
+		return err
+	}
+	pol, err := policyFor(*polName, tr)
+	if err != nil {
+		return err
+	}
+	m, err := insp.ParseMetric(*metric)
+	if err != nil {
+		return err
+	}
+	mod, err := insp.LoadInspectorFile(*model, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	// Rebind feature normalization to the evaluation trace (cross-trace use).
+	mod = mod.WithNormalizer(insp.NormalizerForTrace(tr, m))
+	res, err := insp.Evaluate(mod, insp.EvalConfig{
+		Trace: tr, Policy: pol, Metric: m, Backfill: *backfill,
+		Sequences: *sequences, SeqLen: *seqLen, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	base, ins := res.Boxes(m)
+	fmt.Printf("metric %s over %d sequences of %d jobs (%s, backfill=%v):\n",
+		m, *sequences, *seqLen, pol.Name(), *backfill)
+	fmt.Printf("  base:      %v\n", base)
+	fmt.Printf("  inspected: %v\n", ins)
+	fmt.Printf("  mean improvement: %+.1f%%, rejection ratio %.2f\n",
+		100*res.MeanImprovement(m), res.RejectionRatio())
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	name, swf, jobs, seed := traceFlags(fs)
+	fs.Parse(args)
+	tr, err := loadTrace(*name, *swf, *jobs, *seed)
+	if err != nil {
+		return err
+	}
+	s := insp.ComputeTraceStats(tr)
+	fmt.Printf("trace %s: %d jobs, cluster %d procs\n", tr.Name, s.Jobs, s.MaxProcs)
+	fmt.Printf("  mean arrival interval: %.0f s\n", s.MeanInterval)
+	fmt.Printf("  mean estimated runtime: %.0f s (max %.0f)\n", s.MeanEst, s.MaxEst)
+	fmt.Printf("  mean actual runtime: %.0f s\n", s.MeanRun)
+	fmt.Printf("  mean requested procs: %.1f (max %d)\n", s.MeanProcs, s.MaxJobProcs)
+	fmt.Printf("  span: %.1f days\n", s.TotalSpan/86400)
+	return nil
+}
+
+// cmdInspect replays the whole trace with a trained model and prints the
+// per-feature rejection analysis of §5 of the paper.
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	name, swf, jobs, seed := traceFlags(fs)
+	polName := fs.String("policy", "SJF", "base scheduling policy")
+	metric := fs.String("metric", "bsld", "metric the model was trained for")
+	backfill := fs.Bool("backfill", false, "enable EASY backfilling")
+	model := fs.String("model", "model.gob", "trained model path")
+	fs.Parse(args)
+
+	tr, err := loadTrace(*name, *swf, *jobs, *seed)
+	if err != nil {
+		return err
+	}
+	pol, err := policyFor(*polName, tr)
+	if err != nil {
+		return err
+	}
+	m, err := insp.ParseMetric(*metric)
+	if err != nil {
+		return err
+	}
+	mod, err := insp.LoadInspectorFile(*model, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	mod = mod.WithNormalizer(insp.NormalizerForTrace(tr, m))
+	rec, err := core.ReplayWhole(mod, core.EvalConfig{
+		Trace: tr, Policy: pol, Metric: m, Backfill: *backfill,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d jobs: %d inspections, %.1f%% rejected\n",
+		tr.Len(), len(rec.Records), 100*rec.RejectionRatio())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "feature\tCDF@0.25 tot/rej\tCDF@0.5 tot/rej\tCDF@0.75 tot/rej")
+	for _, c := range rec.Analyze(core.ManualFeatureNames()) {
+		if c.Rejected.N() == 0 {
+			fmt.Fprintf(tw, "%s\t-\t-\t-\n", c.Name)
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%.2f/%.2f\t%.2f/%.2f\t%.2f/%.2f\n", c.Name,
+			c.Total.At(0.25), c.Rejected.At(0.25),
+			c.Total.At(0.5), c.Rejected.At(0.5),
+			c.Total.At(0.75), c.Rejected.At(0.75))
+	}
+	return tw.Flush()
+}
+
+func parseFeatures(s string) (insp.FeatureMode, error) {
+	switch s {
+	case "manual":
+		return insp.ManualFeatures, nil
+	case "compacted":
+		return insp.CompactedFeatures, nil
+	case "native":
+		return insp.NativeFeatures, nil
+	}
+	return 0, fmt.Errorf("unknown feature mode %q", s)
+}
+
+func parseReward(s string) (insp.RewardKind, error) {
+	switch s {
+	case "percentage":
+		return insp.PercentageReward, nil
+	case "native":
+		return insp.NativeReward, nil
+	case "winloss":
+		return insp.WinLossReward, nil
+	}
+	return 0, fmt.Errorf("unknown reward kind %q", s)
+}

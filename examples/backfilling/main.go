@@ -1,0 +1,86 @@
+// Demonstrate EASY backfilling and how SchedInspector interacts with it.
+//
+// The example first shows, on a hand-built job sequence, how backfilling
+// slots a short narrow job into the idle window in front of a blocked wide
+// job. It then trains inspectors with backfilling disabled and enabled on
+// the same workload, reproducing the paper's observation that backfilling
+// shrinks — but does not eliminate — the inspector's headroom (§4.4.5).
+//
+//	go run ./examples/backfilling
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	insp "schedinspector"
+	"schedinspector/internal/sim"
+)
+
+func main() {
+	demonstrateEASY()
+	compareHeadroom()
+}
+
+// demonstrateEASY schedules a tiny hand-built sequence with and without
+// backfilling on an 8-processor cluster.
+func demonstrateEASY() {
+	jobs := []insp.Job{
+		{ID: 1, Submit: 0, Run: 3600, Est: 3600, Procs: 6},  // running wide job
+		{ID: 2, Submit: 60, Run: 3600, Est: 3600, Procs: 8}, /* blocks: needs whole cluster */
+		{ID: 3, Submit: 120, Run: 600, Est: 600, Procs: 2},  // short+narrow: can backfill
+	}
+	for _, backfill := range []bool{false, true} {
+		res, err := insp.Simulate(jobs, insp.SimConfig{
+			MaxProcs: 8,
+			Policy:   insp.FCFS(),
+			Backfill: backfill,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("backfill=%v (%d backfilled):\n", backfill, res.Backfills)
+		if err := sim.WriteGantt(os.Stdout, res.Results, 8, 60); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+// compareHeadroom trains one inspector without and one with backfilling.
+func compareHeadroom() {
+	trace := insp.GenerateTrace("SDSC-SP2", 10000, 5)
+	for _, backfill := range []bool{false, true} {
+		trainer, err := insp.NewTrainer(insp.TrainConfig{
+			Trace:    trace,
+			Policy:   insp.SJF(),
+			Metric:   insp.BSLD,
+			Backfill: backfill,
+			Batch:    30,
+			Seed:     4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := trainer.Train(18, nil); err != nil {
+			log.Fatal(err)
+		}
+		res, err := insp.Evaluate(trainer.Inspector(), insp.EvalConfig{
+			Trace:     trace,
+			Policy:    insp.SJF(),
+			Metric:    insp.BSLD,
+			Backfill:  backfill,
+			Sequences: 20,
+			Seed:      6,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, inspected := res.Boxes(insp.BSLD)
+		fmt.Printf("backfill=%-5v base bsld %7.1f -> inspected %7.1f (%+.1f%%)\n",
+			backfill, base.Mean, inspected.Mean, 100*res.MeanImprovement(insp.BSLD))
+	}
+	fmt.Println("\nbackfilling already absorbs much of the idle time, so the")
+	fmt.Println("inspector's improvement is smaller with it enabled — same shape as Figure 11.")
+}

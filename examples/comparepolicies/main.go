@@ -1,0 +1,61 @@
+// Compare base scheduling policies with and without SchedInspector.
+//
+// This is the workload the paper's introduction motivates: the same job
+// stream scheduled by every Table 3 heuristic, showing which policies an
+// inspector can improve (SJF, SAF, SRF, F1, LCFS) and which it cannot
+// (FCFS — rejecting never changes what FCFS picks next, so the learned
+// rejection ratio collapses).
+//
+//	go run ./examples/comparepolicies
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	insp "schedinspector"
+)
+
+func main() {
+	trace := insp.GenerateTrace("SDSC-SP2", 10000, 9)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tbase bsld\tinspected bsld\timprovement\trejection ratio")
+
+	for _, name := range []string{"FCFS", "LCFS", "SJF", "SAF", "SRF", "F1"} {
+		policy, err := insp.PolicyByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trainer, err := insp.NewTrainer(insp.TrainConfig{
+			Trace:  trace,
+			Policy: policy,
+			Metric: insp.BSLD,
+			Batch:  30,
+			Seed:   2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := trainer.Train(15, nil); err != nil {
+			log.Fatal(err)
+		}
+		res, err := insp.Evaluate(trainer.Inspector(), insp.EvalConfig{
+			Trace:     trace,
+			Policy:    policy,
+			Metric:    insp.BSLD,
+			Sequences: 20,
+			Seed:      3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, inspected := res.Boxes(insp.BSLD)
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%+.1f%%\t%.2f\n",
+			name, base.Mean, inspected.Mean,
+			100*res.MeanImprovement(insp.BSLD), res.RejectionRatio())
+		tw.Flush()
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: train a small SchedInspector on top of SJF and show the
+// bounded-slowdown improvement on held-out job sequences.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	insp "schedinspector"
+)
+
+func main() {
+	// A synthetic workload calibrated to the SDSC-SP2 log: 128 processors,
+	// bursty arrivals, heavy-tailed runtimes.
+	trace := insp.GenerateTrace("SDSC-SP2", 12000, 42)
+
+	// Train an inspector over the base SJF scheduler, optimizing the average
+	// bounded job slowdown. The first 20% of the trace is the training set.
+	trainer, err := insp.NewTrainer(insp.TrainConfig{
+		Trace:  trace,
+		Policy: insp.SJF(),
+		Metric: insp.BSLD,
+		Batch:  40, // trajectories per epoch (paper uses 100)
+		Seed:   1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training SchedInspector on SJF / SDSC-SP2 / bsld ...")
+	if _, err := trainer.Train(30, func(st insp.EpochStats) {
+		if st.Epoch%5 == 0 {
+			fmt.Printf("  epoch %2d: bsld improvement %7.2f (%+5.1f%%), rejection ratio %.2f\n",
+				st.Epoch, st.MeanImprovement, 100*st.MeanPctImprovement, st.RejectionRatio)
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluate on sequences sampled from the held-out 80% of the trace.
+	res, err := insp.Evaluate(trainer.Inspector(), insp.EvalConfig{
+		Trace:  trace,
+		Policy: insp.SJF(),
+		Metric: insp.BSLD,
+		Seed:   7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, inspected := res.Boxes(insp.BSLD)
+	fmt.Printf("\ntest-time bsld over %d sequences:\n", base.N)
+	fmt.Printf("  base SJF:   mean %.1f (median %.1f)\n", base.Mean, base.Median)
+	fmt.Printf("  inspected:  mean %.1f (median %.1f)\n", inspected.Mean, inspected.Median)
+	fmt.Printf("  improvement %+.1f%% with %.0f%% of decisions rejected\n",
+		100*res.MeanImprovement(insp.BSLD), 100*res.RejectionRatio())
+}

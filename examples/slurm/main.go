@@ -1,0 +1,67 @@
+// Run SchedInspector on top of a Slurm-style multifactor priority
+// scheduler, the paper's "realistic settings" study (§4.5).
+//
+// The multifactor policy combines job age, per-user fairshare, a
+// job-attribute factor (requested time) and a per-queue partition factor,
+// all weighted 1000, with EASY backfilling enabled — the closest the
+// simulator gets to a production Slurm configuration. The inspector learns
+// to reject some of its decisions and still improves bsld with a marginal
+// utilization cost.
+//
+//	go run ./examples/slurm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	insp "schedinspector"
+)
+
+func main() {
+	// The SDSC-SP2-like generator assigns Zipf-skewed users and queues, the
+	// accounting data the multifactor policy needs.
+	trace := insp.GenerateTrace("SDSC-SP2", 12000, 11)
+	policy := insp.NewSlurm(trace)
+
+	fmt.Println("training SchedInspector over Slurm multifactor + backfilling ...")
+	trainer, err := insp.NewTrainer(insp.TrainConfig{
+		Trace:    trace,
+		Policy:   policy,
+		Metric:   insp.BSLD,
+		Backfill: true,
+		Batch:    30,
+		Seed:     8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := trainer.Train(20, func(st insp.EpochStats) {
+		if st.Epoch%5 == 0 {
+			fmt.Printf("  epoch %2d: improvement %+.1f%%, rejection ratio %.2f\n",
+				st.Epoch, 100*st.MeanPctImprovement, st.RejectionRatio)
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := insp.Evaluate(trainer.Inspector(), insp.EvalConfig{
+		Trace:     trace,
+		Policy:    policy,
+		Metric:    insp.BSLD,
+		Backfill:  true,
+		Sequences: 25,
+		Seed:      13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bsldB, bsldI := res.Boxes(insp.BSLD)
+	utilB, utilI := res.Boxes(insp.Util)
+	fmt.Printf("\nSlurm multifactor, %d test sequences:\n", bsldB.N)
+	fmt.Printf("  bsld: base %.1f -> inspected %.1f (%+.1f%%)\n",
+		bsldB.Mean, bsldI.Mean, 100*res.MeanImprovement(insp.BSLD))
+	fmt.Printf("  util: base %.2f%% -> inspected %.2f%% (%+.2f%% absolute)\n",
+		100*utilB.Mean, 100*utilI.Mean, 100*(utilI.Mean-utilB.Mean))
+	fmt.Println("\n(the paper reports 24.7% better bsld at a 0.49% utilization cost)")
+}

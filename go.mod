@@ -1,0 +1,3 @@
+module schedinspector
+
+go 1.22

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV exports for downstream plotting: training curves (the figures' raw
+// data) and recorded inspection decisions (the §5 analysis data).
+
+// WriteTrainingCSV writes per-epoch training statistics as CSV with a
+// header row — one row per epoch, matching the paper's training-curve axes.
+func WriteTrainingCSV(w io.Writer, hist []EpochStats) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"epoch", "mean_reward", "improvement", "pct_improvement",
+		"rejection_ratio", "approx_kl", "value_loss", "entropy",
+	}); err != nil {
+		return fmt.Errorf("core: csv: %w", err)
+	}
+	for _, h := range hist {
+		rec := []string{
+			fmt.Sprintf("%d", h.Epoch),
+			fmt.Sprintf("%g", h.MeanReward),
+			fmt.Sprintf("%g", h.MeanImprovement),
+			fmt.Sprintf("%g", h.MeanPctImprovement),
+			fmt.Sprintf("%g", h.RejectionRatio),
+			fmt.Sprintf("%g", h.ApproxKL),
+			fmt.Sprintf("%g", h.ValueLoss),
+			fmt.Sprintf("%g", h.Entropy),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("core: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDecisionsCSV writes the recorded inspection decisions as CSV: one
+// row per inspection with the named feature columns plus a "rejected" flag.
+// Feature indices beyond the provided names are labeled f<i>.
+func (r *Recorder) WriteDecisionsCSV(w io.Writer, names []string) error {
+	cw := csv.NewWriter(w)
+	if len(r.Records) == 0 {
+		cw.Flush()
+		return cw.Error()
+	}
+	nf := len(r.Records[0].Features)
+	header := make([]string, 0, nf+1)
+	for i := 0; i < nf; i++ {
+		if i < len(names) {
+			header = append(header, names[i])
+		} else {
+			header = append(header, fmt.Sprintf("f%d", i))
+		}
+	}
+	header = append(header, "rejected")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("core: csv: %w", err)
+	}
+	row := make([]string, nf+1)
+	for _, rec := range r.Records {
+		for i, v := range rec.Features {
+			row[i] = fmt.Sprintf("%g", v)
+		}
+		if rec.Rejected {
+			row[nf] = "1"
+		} else {
+			row[nf] = "0"
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("core: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteTrainingCSV(t *testing.T) {
+	hist := []EpochStats{
+		{Epoch: 1, MeanReward: -0.3, MeanImprovement: -2, RejectionRatio: 0.5},
+		{Epoch: 2, MeanReward: 0.1, MeanImprovement: 3, RejectionRatio: 0.4, ApproxKL: 0.001},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrainingCSV(&buf, hist); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(rows))
+	}
+	if rows[0][0] != "epoch" || rows[1][0] != "1" || rows[2][0] != "2" {
+		t.Errorf("unexpected rows: %v", rows)
+	}
+	if rows[2][4] != "0.4" {
+		t.Errorf("rejection ratio column = %q", rows[2][4])
+	}
+}
+
+func TestWriteDecisionsCSV(t *testing.T) {
+	r := &Recorder{Records: []DecisionRecord{
+		{Features: []float64{0.1, 0.2, 0.3}, Rejected: true},
+		{Features: []float64{0.4, 0.5, 0.6}, Rejected: false},
+	}}
+	var buf bytes.Buffer
+	if err := r.WriteDecisionsCSV(&buf, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if strings.Join(rows[0], ",") != "a,b,f2,rejected" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][3] != "1" || rows[2][3] != "0" {
+		t.Errorf("rejected flags wrong: %v %v", rows[1], rows[2])
+	}
+	// empty recorder writes nothing but succeeds
+	var empty bytes.Buffer
+	if err := (&Recorder{}).WriteDecisionsCSV(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Error("empty recorder produced output")
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/sched"
+	"schedinspector/internal/sim"
+	"schedinspector/internal/stats"
+	"schedinspector/internal/workload"
+)
+
+// EvalConfig parameterizes test-time evaluation (§4.4: 50 random sequences
+// of 256 consecutive jobs sampled from the testing 80% of the trace).
+type EvalConfig struct {
+	Trace  *workload.Trace
+	Policy sched.Policy
+	Metric metrics.Metric
+
+	Backfill      bool
+	Greedy        bool    // use argmax decisions instead of the default stochastic policy
+	Sequences     int     // number of sampled sequences (50)
+	SeqLen        int     // jobs per sequence (256)
+	TestFrom      float64 // fraction of the trace where the test region starts (0.2)
+	Seed          int64
+	MaxInterval   float64
+	MaxRejections int
+}
+
+func (c EvalConfig) withDefaults() EvalConfig {
+	if c.Sequences == 0 {
+		c.Sequences = 50
+	}
+	if c.SeqLen == 0 {
+		c.SeqLen = 256
+	}
+	if c.TestFrom == 0 {
+		c.TestFrom = 0.2
+	}
+	if c.MaxInterval == 0 {
+		c.MaxInterval = sim.DefaultMaxInterval
+	}
+	if c.MaxRejections == 0 {
+		c.MaxRejections = sim.DefaultMaxRejections
+	}
+	return c
+}
+
+// EvalResult holds per-sequence summaries for the base scheduler and the
+// SchedInspector-enabled counterpart, plus rejection accounting.
+type EvalResult struct {
+	Base []metrics.Summary // one per sampled sequence
+	Insp []metrics.Summary
+
+	Inspections int
+	Rejections  int
+}
+
+// Values extracts the per-sequence values of metric m for box plotting.
+func Values(sums []metrics.Summary, m metrics.Metric) []float64 {
+	out := make([]float64, len(sums))
+	for i, s := range sums {
+		out[i] = s.Of(m)
+	}
+	return out
+}
+
+// Boxes returns box-and-whisker summaries of the base and inspected runs on
+// metric m — the Figure 8/10/12 presentation.
+func (r EvalResult) Boxes(m metrics.Metric) (base, insp stats.Box) {
+	return stats.Summarize(Values(r.Base, m)), stats.Summarize(Values(r.Insp, m))
+}
+
+// MeanImprovement returns the relative improvement of the mean metric value
+// (positive = inspector wins).
+func (r EvalResult) MeanImprovement(m metrics.Metric) float64 {
+	base := stats.Mean(Values(r.Base, m))
+	insp := stats.Mean(Values(r.Insp, m))
+	return metrics.Improvement(m, summaryWith(m, base), summaryWith(m, insp))
+}
+
+// summaryWith builds a Summary carrying v in metric m's slot.
+func summaryWith(m metrics.Metric, v float64) metrics.Summary {
+	var s metrics.Summary
+	switch m {
+	case metrics.BSLD:
+		s.AvgBSLD = v
+	case metrics.Wait:
+		s.AvgWait = v
+	case metrics.MBSLD:
+		s.MaxBSLD = v
+	case metrics.Util:
+		s.Util = v
+	}
+	return s
+}
+
+// Compare runs a paired statistical comparison of the base and inspected
+// per-sequence values of metric m: mean delta (positive = inspector wins),
+// a 95% bootstrap confidence interval, and a two-sided sign test. For
+// maximized metrics the sign convention flips so positive still means the
+// inspector won.
+func (r EvalResult) Compare(m metrics.Metric, seed int64) stats.PairedDelta {
+	base := Values(r.Base, m)
+	insp := Values(r.Insp, m)
+	if !m.Minimize() {
+		base, insp = insp, base
+	}
+	return stats.ComparePaired(base, insp, 0.95, 2000, rand.New(rand.NewSource(seed)))
+}
+
+// RejectionRatio returns rejections/inspections over all evaluated
+// sequences.
+func (r EvalResult) RejectionRatio() float64 {
+	if r.Inspections == 0 {
+		return 0
+	}
+	return float64(r.Rejections) / float64(r.Inspections)
+}
+
+// Evaluate schedules cfg.Sequences randomly sampled test sequences twice —
+// with the base policy alone and with the inspector on top — and returns
+// the paired summaries. The inspector runs in stochastic mode by default
+// (inference mirrors training, §3.2); set cfg.Greedy for argmax decisions.
+// A nil inspector evaluates the base policy against itself (useful for
+// harness plumbing tests).
+func Evaluate(insp *Inspector, cfg EvalConfig) (EvalResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Trace == nil || cfg.Policy == nil {
+		return EvalResult{}, fmt.Errorf("core: Evaluate needs Trace and Policy")
+	}
+	lo := cfg.Trace.Split(cfg.TestFrom)
+	hi := cfg.Trace.Len() - cfg.SeqLen + 1
+	if hi <= lo {
+		// test region too small; fall back to the whole trace
+		lo = 0
+	}
+	if hi < 1 {
+		return EvalResult{}, fmt.Errorf("core: trace has %d jobs, need at least SeqLen=%d",
+			cfg.Trace.Len(), cfg.SeqLen)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	simCfg := sim.Config{
+		MaxProcs:      cfg.Trace.MaxProcs,
+		Policy:        cfg.Policy,
+		Backfill:      cfg.Backfill,
+		MaxInterval:   cfg.MaxInterval,
+		MaxRejections: cfg.MaxRejections,
+	}
+	var out EvalResult
+	for i := 0; i < cfg.Sequences; i++ {
+		jobs := cfg.Trace.RandomWindow(rng, cfg.SeqLen, lo, hi)
+
+		simCfg.Inspector = nil
+		base, err := sim.Run(jobs, simCfg)
+		if err != nil {
+			return out, err
+		}
+		out.Base = append(out.Base, base.Summary(cfg.Trace.MaxProcs))
+
+		if insp != nil {
+			if cfg.Greedy {
+				simCfg.Inspector = insp.Greedy()
+			} else {
+				simCfg.Inspector = insp.Stochastic()
+			}
+		}
+		ins, err := sim.Run(jobs, simCfg)
+		if err != nil {
+			return out, err
+		}
+		out.Insp = append(out.Insp, ins.Summary(cfg.Trace.MaxProcs))
+		out.Inspections += ins.Inspections
+		out.Rejections += ins.Rejections
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/nn"
+	"schedinspector/internal/rl"
+	"schedinspector/internal/sim"
+	"schedinspector/internal/workload"
+)
+
+// Actions of the inspector's binary policy head.
+const (
+	ActionAccept = 0
+	ActionReject = 1
+)
+
+// Inspector is a trained (or in-training) SchedInspector model: the RL
+// agent, the feature mode it observes through, and the normalization
+// constants of the trace it was fitted to.
+type Inspector struct {
+	Agent *rl.Agent
+	Mode  FeatureMode
+	Norm  Normalizer
+
+	feat []float64 // scratch feature buffer
+}
+
+// DefaultHidden is the paper's network architecture: three hidden layers of
+// 32, 16 and 8 neurons (§3.1).
+func DefaultHidden() []int { return []int{32, 16, 8} }
+
+// NewInspector creates an untrained inspector with the paper's architecture
+// (or custom hidden sizes) for the given feature mode and normalizer.
+func NewInspector(rng *rand.Rand, mode FeatureMode, norm Normalizer, hidden []int) *Inspector {
+	if len(hidden) == 0 {
+		hidden = DefaultHidden()
+	}
+	return &Inspector{
+		Agent: rl.NewAgent(rng, mode.Dim(), hidden, 2),
+		Mode:  mode,
+		Norm:  norm,
+	}
+}
+
+// WithNormalizer returns a copy of the inspector bound to different trace
+// statistics — how a model trained on trace X is applied to trace Y
+// (Table 4). The underlying networks are shared, not copied.
+func (in *Inspector) WithNormalizer(norm Normalizer) *Inspector {
+	return &Inspector{Agent: in.Agent, Mode: in.Mode, Norm: norm}
+}
+
+// Greedy returns a deterministic sim.Inspector that rejects whenever the
+// policy's argmax action is reject — the inference mode used at evaluation
+// time and in production.
+func (in *Inspector) Greedy() sim.Inspector {
+	return func(s *sim.State) bool {
+		in.feat = in.Norm.Features(in.feat, in.Mode, s)
+		return in.Agent.Greedy(in.feat) == ActionReject
+	}
+}
+
+// Stochastic returns a sim.Inspector that samples actions from the policy
+// without recording. Per §3.2 of the paper, inference "acts similarly as it
+// does in the training process": the deployed inspector keeps the policy's
+// action distribution rather than taking its argmax, so rejection rates at
+// evaluation time match what training converged to (the argmax variant,
+// Greedy, systematically amplifies any state whose reject probability
+// crosses one half and with it the utilization cost).
+func (in *Inspector) Stochastic() sim.Inspector {
+	return func(s *sim.State) bool {
+		in.feat = in.Norm.Features(in.feat, in.Mode, s)
+		action, _ := in.Agent.Sample(in.feat)
+		return action == ActionReject
+	}
+}
+
+// Sampling returns a stochastic sim.Inspector that samples actions from the
+// policy and appends each (observation, action, logp) step to rec — the
+// exploration mode that builds training trajectories.
+func (in *Inspector) Sampling(rec *[]rl.Step) sim.Inspector {
+	return func(s *sim.State) bool {
+		in.feat = in.Norm.Features(in.feat, in.Mode, s)
+		action, logp := in.Agent.Sample(in.feat)
+		*rec = append(*rec, rl.Step{
+			Obs:    append([]float64(nil), in.feat...),
+			Action: action,
+			LogP:   logp,
+		})
+		return action == ActionReject
+	}
+}
+
+// RejectProb returns the policy's probability of rejecting in state s,
+// useful for analysis and debugging.
+func (in *Inspector) RejectProb(s *sim.State) float64 {
+	in.feat = in.Norm.Features(in.feat, in.Mode, s)
+	return in.Agent.ActionProb(in.feat, ActionReject)
+}
+
+// savedInspector is the on-disk format.
+type savedInspector struct {
+	Policy *nn.MLP
+	Value  *nn.MLP
+	Mode   FeatureMode
+	Norm   Normalizer
+}
+
+// Save serializes the inspector (both networks, feature mode, normalizer).
+func (in *Inspector) Save(w io.Writer) error {
+	s := savedInspector{Policy: in.Agent.Policy, Value: in.Agent.Value, Mode: in.Mode, Norm: in.Norm}
+	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+		return fmt.Errorf("core: save inspector: %w", err)
+	}
+	return nil
+}
+
+// LoadInspector reads an inspector written by Save. The returned model uses
+// rng for any sampling-mode exploration.
+func LoadInspector(r io.Reader, rng *rand.Rand) (*Inspector, error) {
+	var s savedInspector
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: load inspector: %w", err)
+	}
+	if s.Policy == nil || s.Value == nil {
+		return nil, fmt.Errorf("core: load inspector: missing networks")
+	}
+	if s.Policy.InputSize() != s.Mode.Dim() {
+		return nil, fmt.Errorf("core: load inspector: policy input %d does not match mode %v (%d)",
+			s.Policy.InputSize(), s.Mode, s.Mode.Dim())
+	}
+	agent := rl.NewAgent(rng, s.Policy.InputSize(), DefaultHidden(), s.Policy.OutputSize())
+	agent.Policy = s.Policy
+	agent.Value = s.Value
+	return &Inspector{Agent: agent, Mode: s.Mode, Norm: s.Norm}, nil
+}
+
+// SaveFile writes the inspector to path.
+func (in *Inspector) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	if err := in.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadInspectorFile reads an inspector from path.
+func LoadInspectorFile(path string, rng *rand.Rand) (*Inspector, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return LoadInspector(f, rng)
+}
+
+// NormalizerForTrace is a convenience that derives a Normalizer from a
+// trace's statistics with the simulator defaults.
+func NormalizerForTrace(t *workload.Trace, metric metrics.Metric) Normalizer {
+	return NewNormalizer(workload.ComputeStats(t), metric, sim.DefaultMaxRejections, sim.DefaultMaxInterval)
+}

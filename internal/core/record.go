@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"schedinspector/internal/sim"
+	"schedinspector/internal/stats"
+)
+
+// DecisionRecord captures one inspection: the manual feature vector the
+// agent saw and whether it rejected. The §5 analysis is built from millions
+// of these.
+type DecisionRecord struct {
+	Features []float64
+	Rejected bool
+}
+
+// Recorder wraps an inspector and logs every decision.
+type Recorder struct {
+	Records []DecisionRecord
+}
+
+// Recording returns a sim.Inspector that behaves like insp.Stochastic()
+// (the deployment mode, §3.2) while appending every decision to r.
+func (r *Recorder) Recording(insp *Inspector) sim.Inspector {
+	decide := insp.Stochastic()
+	return func(s *sim.State) bool {
+		reject := decide(s)
+		feat := insp.Norm.Features(nil, insp.Mode, s)
+		r.Records = append(r.Records, DecisionRecord{Features: feat, Rejected: reject})
+		return reject
+	}
+}
+
+// FeatureCDFs holds, for one input feature, the empirical CDFs over all
+// inspected samples and over the rejected subset — exactly the paired
+// curves of Figure 13.
+type FeatureCDFs struct {
+	Name     string
+	Total    *stats.CDF
+	Rejected *stats.CDF
+}
+
+// Analyze builds per-feature CDFs from the recorded decisions. Names label
+// the feature indices; indices beyond len(names) are skipped.
+func (r *Recorder) Analyze(names []string) []FeatureCDFs {
+	if len(r.Records) == 0 {
+		return nil
+	}
+	nf := min(len(names), len(r.Records[0].Features))
+	out := make([]FeatureCDFs, 0, nf)
+	for f := 0; f < nf; f++ {
+		total := make([]float64, 0, len(r.Records))
+		var rejected []float64
+		for _, rec := range r.Records {
+			v := rec.Features[f]
+			total = append(total, v)
+			if rec.Rejected {
+				rejected = append(rejected, v)
+			}
+		}
+		out = append(out, FeatureCDFs{
+			Name:     names[f],
+			Total:    stats.NewCDF(total),
+			Rejected: stats.NewCDF(rejected),
+		})
+	}
+	return out
+}
+
+// RejectionRatio returns the fraction of recorded decisions that rejected.
+func (r *Recorder) RejectionRatio() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	n := 0
+	for _, rec := range r.Records {
+		if rec.Rejected {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Records))
+}
+
+// ReplayWhole schedules the entire trace under the base policy with the
+// recording inspector on top, as §5 does ("used the trained model to
+// schedule the whole SDSC-SP2 job trace from beginning to the end"), and
+// returns the recorder. cfg.Trace and cfg.Policy are required; the eval
+// sequence fields are ignored.
+func ReplayWhole(insp *Inspector, cfg EvalConfig) (*Recorder, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Trace == nil || cfg.Policy == nil {
+		return nil, fmt.Errorf("core: ReplayWhole needs Trace and Policy")
+	}
+	rec := &Recorder{}
+	_, err := sim.Run(cfg.Trace.Jobs, sim.Config{
+		MaxProcs:      cfg.Trace.MaxProcs,
+		Policy:        cfg.Policy,
+		Backfill:      cfg.Backfill,
+		Inspector:     rec.Recording(insp),
+		MaxInterval:   cfg.MaxInterval,
+		MaxRejections: cfg.MaxRejections,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"schedinspector/internal/metrics"
+)
+
+// RewardKind selects the trajectory reward function (§3.4). The paper's
+// default, PercentageReward, both removes the cross-sequence variance of
+// raw metric values and still pays big-gain actions more.
+type RewardKind int
+
+const (
+	// PercentageReward is (m_orig - m_insp)/m_orig for minimized metrics.
+	PercentageReward RewardKind = iota
+	// NativeReward is the raw difference m_orig - m_insp.
+	NativeReward
+	// WinLossReward is +1 when the inspected run beats the baseline, -1
+	// when it loses, 0 on ties.
+	WinLossReward
+)
+
+// String returns the reward kind's name.
+func (k RewardKind) String() string {
+	switch k {
+	case PercentageReward:
+		return "percentage"
+	case NativeReward:
+		return "native"
+	case WinLossReward:
+		return "winloss"
+	}
+	return fmt.Sprintf("RewardKind(%d)", int(k))
+}
+
+// ParseRewardKind converts a name into a RewardKind.
+func ParseRewardKind(s string) (RewardKind, error) {
+	switch s {
+	case "percentage":
+		return PercentageReward, nil
+	case "native":
+		return NativeReward, nil
+	case "winloss":
+		return WinLossReward, nil
+	}
+	return 0, fmt.Errorf("core: unknown reward kind %q", s)
+}
+
+// Reward computes the terminal trajectory reward for metric m given the
+// baseline (uninspected) and inspected summaries of the same job sequence.
+// Positive always means the inspector helped.
+func Reward(kind RewardKind, m metrics.Metric, orig, insp metrics.Summary) float64 {
+	switch kind {
+	case PercentageReward:
+		return metrics.Improvement(m, orig, insp)
+	case NativeReward:
+		d := orig.Of(m) - insp.Of(m)
+		if !m.Minimize() {
+			d = -d
+		}
+		return d
+	case WinLossReward:
+		d := orig.Of(m) - insp.Of(m)
+		if !m.Minimize() {
+			d = -d
+		}
+		if d > 0 {
+			return 1
+		}
+		if d < 0 {
+			return -1
+		}
+		return 0
+	}
+	panic("core: unknown reward kind")
+}
+
+// clampReward guards PPO against the unbounded tails of the native reward;
+// percentage and win/loss rewards are naturally bounded.
+func clampReward(r float64) float64 {
+	if math.IsNaN(r) {
+		return 0
+	}
+	return math.Max(-1e6, math.Min(1e6, r))
+}

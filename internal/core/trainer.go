@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/rl"
+	"schedinspector/internal/sched"
+	"schedinspector/internal/sim"
+	"schedinspector/internal/workload"
+)
+
+// TrainConfig parameterizes one SchedInspector training run (§4.1 defaults
+// in parentheses).
+type TrainConfig struct {
+	Trace  *workload.Trace // job trace; required
+	Policy sched.Policy    // base scheduling policy; required
+	Metric metrics.Metric  // performance metric to optimize (bsld)
+
+	RewardKind  RewardKind  // reward function (percentage)
+	FeatureMode FeatureMode // feature building mechanism (manual)
+	Backfill    bool        // EASY backfilling in the simulated environment
+
+	Hidden    []int   // policy/value hidden sizes (32, 16, 8)
+	SeqLen    int     // jobs per trajectory (128)
+	Batch     int     // trajectories per epoch (100)
+	LR        float64 // learning rate (1e-3)
+	Seed      int64   // RNG seed for sampling and initialization
+	TrainFrac float64 // fraction of the trace used for training (0.2)
+
+	MaxInterval   float64 // simulator retry cut-off (600 s)
+	MaxRejections int     // simulator per-job rejection cap (72)
+
+	PPO rl.PPOConfig // optional PPO overrides (zero values take defaults)
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.SeqLen == 0 {
+		c.SeqLen = 128
+	}
+	if c.Batch == 0 {
+		c.Batch = 100
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.TrainFrac == 0 {
+		c.TrainFrac = 0.2
+	}
+	if c.MaxInterval == 0 {
+		c.MaxInterval = sim.DefaultMaxInterval
+	}
+	if c.MaxRejections == 0 {
+		c.MaxRejections = sim.DefaultMaxRejections
+	}
+	if c.PPO.LR == 0 {
+		c.PPO.LR = c.LR
+	}
+	return c
+}
+
+// EpochStats summarizes one training epoch — the quantities plotted in the
+// paper's training-curve figures.
+type EpochStats struct {
+	Epoch int
+
+	// MeanReward is the mean terminal reward under the configured kind.
+	MeanReward float64
+	// MeanImprovement is the mean raw metric difference m_orig - m_insp
+	// (sign-flipped for maximized metrics), the y-axis of Figures 4-7.
+	MeanImprovement float64
+	// MeanPctImprovement is the mean relative improvement, the y-axis of
+	// Figures 9 and 11.
+	MeanPctImprovement float64
+	// RejectionRatio is rejections/inspections across the epoch's
+	// trajectories, the orange curves of Figures 7, 9 and 11.
+	RejectionRatio float64
+
+	ApproxKL  float64
+	ValueLoss float64
+	Entropy   float64
+}
+
+// Trainer drives the Figure 3 workflow: sample job sequences, run the base
+// scheduler and the inspector-enabled scheduler, convert the outcome into a
+// terminal reward, and improve the policy with PPO.
+type Trainer struct {
+	cfg   TrainConfig
+	insp  *Inspector
+	ppo   *rl.PPO
+	rng   *rand.Rand
+	epoch int
+
+	trainLo, trainHi int                     // window-start range for training sequences
+	baseCache        map[int]metrics.Summary // baseline summaries keyed by window start
+}
+
+// NewTrainer validates the configuration and builds a trainer with a fresh
+// untrained inspector.
+func NewTrainer(cfg TrainConfig) (*Trainer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("core: TrainConfig.Trace is required")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("core: TrainConfig.Policy is required")
+	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	split := cfg.Trace.Split(cfg.TrainFrac)
+	hi := split - cfg.SeqLen + 1
+	if hi < 1 {
+		return nil, fmt.Errorf("core: training region has %d jobs, need at least SeqLen=%d",
+			split, cfg.SeqLen)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	norm := NewNormalizer(workload.ComputeStats(cfg.Trace), cfg.Metric, cfg.MaxRejections, cfg.MaxInterval)
+	insp := NewInspector(rng, cfg.FeatureMode, norm, cfg.Hidden)
+	return &Trainer{
+		cfg:       cfg,
+		insp:      insp,
+		ppo:       rl.NewPPO(insp.Agent, cfg.PPO),
+		rng:       rng,
+		trainLo:   0,
+		trainHi:   hi,
+		baseCache: make(map[int]metrics.Summary),
+	}, nil
+}
+
+// Inspector returns the model being trained. It is live: it improves as
+// epochs run.
+func (t *Trainer) Inspector() *Inspector { return t.insp }
+
+// Config returns the (defaulted) configuration.
+func (t *Trainer) Config() TrainConfig { return t.cfg }
+
+// simConfig builds the simulator configuration with the given inspector.
+func (t *Trainer) simConfig(insp sim.Inspector) sim.Config {
+	return sim.Config{
+		MaxProcs:      t.cfg.Trace.MaxProcs,
+		Policy:        t.cfg.Policy,
+		Backfill:      t.cfg.Backfill,
+		Inspector:     insp,
+		MaxInterval:   t.cfg.MaxInterval,
+		MaxRejections: t.cfg.MaxRejections,
+	}
+}
+
+// baseline returns the uninspected summary of the window starting at start,
+// computing and caching it on first use.
+func (t *Trainer) baseline(start int) (metrics.Summary, error) {
+	if s, ok := t.baseCache[start]; ok {
+		return s, nil
+	}
+	jobs := t.cfg.Trace.Window(start, t.cfg.SeqLen)
+	res, err := sim.Run(jobs, t.simConfig(nil))
+	if err != nil {
+		return metrics.Summary{}, err
+	}
+	s := res.Summary(t.cfg.Trace.MaxProcs)
+	t.baseCache[start] = s
+	return s, nil
+}
+
+// RunEpoch samples one batch of trajectories, performs a PPO update, and
+// returns the epoch statistics.
+func (t *Trainer) RunEpoch() (EpochStats, error) {
+	t.epoch++
+	stats := EpochStats{Epoch: t.epoch}
+	batch := make([]rl.Trajectory, 0, t.cfg.Batch)
+	var inspections, rejections int
+	for b := 0; b < t.cfg.Batch; b++ {
+		start := t.trainLo + t.rng.Intn(t.trainHi-t.trainLo)
+		orig, err := t.baseline(start)
+		if err != nil {
+			return stats, err
+		}
+		jobs := t.cfg.Trace.Window(start, t.cfg.SeqLen)
+		var steps []rl.Step
+		res, err := sim.Run(jobs, t.simConfig(t.insp.Sampling(&steps)))
+		if err != nil {
+			return stats, err
+		}
+		insp := res.Summary(t.cfg.Trace.MaxProcs)
+		reward := clampReward(Reward(t.cfg.RewardKind, t.cfg.Metric, orig, insp))
+		batch = append(batch, rl.Trajectory{Steps: steps, Reward: reward})
+
+		diff := orig.Of(t.cfg.Metric) - insp.Of(t.cfg.Metric)
+		if !t.cfg.Metric.Minimize() {
+			diff = -diff
+		}
+		stats.MeanImprovement += diff
+		stats.MeanPctImprovement += metrics.Improvement(t.cfg.Metric, orig, insp)
+		inspections += res.Inspections
+		rejections += res.Rejections
+	}
+	n := float64(t.cfg.Batch)
+	stats.MeanImprovement /= n
+	stats.MeanPctImprovement /= n
+	if inspections > 0 {
+		stats.RejectionRatio = float64(rejections) / float64(inspections)
+	}
+	up, err := t.ppo.Update(batch)
+	if err != nil {
+		return stats, err
+	}
+	stats.MeanReward = up.MeanReward
+	stats.ApproxKL = up.ApproxKL
+	stats.ValueLoss = up.ValueLoss
+	stats.Entropy = up.Entropy
+	return stats, nil
+}
+
+// Train runs the given number of epochs, invoking cb (if non-nil) after
+// each, and returns the per-epoch statistics — the data behind every
+// training-curve figure in the paper.
+func (t *Trainer) Train(epochs int, cb func(EpochStats)) ([]EpochStats, error) {
+	out := make([]EpochStats, 0, epochs)
+	for i := 0; i < epochs; i++ {
+		st, err := t.RunEpoch()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+		if cb != nil {
+			cb(st)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,292 @@
+package expt
+
+import (
+	"fmt"
+	"text/tabwriter"
+
+	"schedinspector/internal/core"
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/rl"
+	"schedinspector/internal/rlsched"
+	"schedinspector/internal/sched"
+	"schedinspector/internal/sim"
+	"schedinspector/internal/stats"
+	"schedinspector/internal/workload"
+)
+
+// Extension experiments: ablations of the design choices DESIGN.md calls
+// out (the rejection hyperparameters of §4.1, the actor-critic of §3.1, the
+// backfilling variant of §3.2) and the paper's §7 future-work item —
+// SchedInspector on top of a learned RLScheduler-style policy.
+
+// AblateInterval sweeps MAX_INTERVAL, the retry cut-off after a rejection.
+// The paper fixes it at 600 s "to avoid idling resources for too long";
+// this sweep shows the trade-off directly: longer intervals buy bigger
+// bsld improvements at growing utilization cost.
+func AblateInterval(o Options) error {
+	o = o.withDefaults()
+	fmt.Fprintln(o.Out, "Ablation: MAX_INTERVAL retry cut-off (SJF, SDSC-SP2, bsld; paper fixes 600s)")
+	tr, err := o.trace("SDSC-SP2")
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  MAX_INTERVAL\tbsld impr.\tutil delta\trej.ratio\n")
+	for _, interval := range []float64{60, 300, 600, 1800, 3600} {
+		trainer, err := core.NewTrainer(core.TrainConfig{
+			Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
+			SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1,
+			MaxInterval: interval,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := trainer.Train(o.Epochs, nil); err != nil {
+			return err
+		}
+		res, err := core.Evaluate(trainer.Inspector(), core.EvalConfig{
+			Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
+			Sequences: o.EvalSequences, SeqLen: o.EvalSeqLen, Seed: o.Seed + 2,
+			MaxInterval: interval,
+		})
+		if err != nil {
+			return err
+		}
+		ub, ui := res.Boxes(metrics.Util)
+		fmt.Fprintf(tw, "  %.0fs\t%+.1f%%\t%+.2f%%\t%.2f\n",
+			interval, 100*res.MeanImprovement(metrics.BSLD), 100*(ui.Mean-ub.Mean), res.RejectionRatio())
+	}
+	return tw.Flush()
+}
+
+// AblateRejectionCap sweeps MAX_REJECTION_TIMES, the per-job rejection cap
+// (paper: 72, i.e. up to 12 hours of deferral).
+func AblateRejectionCap(o Options) error {
+	o = o.withDefaults()
+	fmt.Fprintln(o.Out, "Ablation: MAX_REJECTION_TIMES cap (SJF, SDSC-SP2, bsld; paper fixes 72)")
+	tr, err := o.trace("SDSC-SP2")
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  cap\tbsld impr.\tutil delta\tmbsld impr.\n")
+	for _, cap := range []int{4, 16, 72, 288} {
+		trainer, err := core.NewTrainer(core.TrainConfig{
+			Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
+			SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1,
+			MaxRejections: cap,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := trainer.Train(o.Epochs, nil); err != nil {
+			return err
+		}
+		res, err := core.Evaluate(trainer.Inspector(), core.EvalConfig{
+			Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
+			Sequences: o.EvalSequences, SeqLen: o.EvalSeqLen, Seed: o.Seed + 2,
+			MaxRejections: cap,
+		})
+		if err != nil {
+			return err
+		}
+		ub, ui := res.Boxes(metrics.Util)
+		fmt.Fprintf(tw, "  %d\t%+.1f%%\t%+.2f%%\t%+.1f%%\n",
+			cap, 100*res.MeanImprovement(metrics.BSLD), 100*(ui.Mean-ub.Mean),
+			100*res.MeanImprovement(metrics.MBSLD))
+	}
+	return tw.Flush()
+}
+
+// AblateCritic compares the full actor-critic against a critic-less
+// REINFORCE-style agent. The paper (§3.1) reports high training variance
+// without the value network; this quantifies it as the standard deviation
+// of the per-epoch improvement over the back half of training.
+func AblateCritic(o Options) error {
+	o = o.withDefaults()
+	fmt.Fprintln(o.Out, "Ablation: actor-critic vs no-critic training variance (SJF, SDSC-SP2, bsld)")
+	fmt.Fprintln(o.Out, "(paper §3.1: 'Without the value network, we observed high variations during the training')")
+	tw := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  agent\tconverged impr.\timpr. stddev (2nd half)\tfinal rej.ratio\n")
+	for _, noCritic := range []bool{false, true} {
+		tr, err := o.trace("SDSC-SP2")
+		if err != nil {
+			return err
+		}
+		trainer, err := core.NewTrainer(core.TrainConfig{
+			Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
+			SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1,
+			PPO: rl.PPOConfig{NoCritic: noCritic},
+		})
+		if err != nil {
+			return err
+		}
+		hist, err := trainer.Train(o.Epochs, nil)
+		if err != nil {
+			return err
+		}
+		half := hist[len(hist)/2:]
+		vals := make([]float64, len(half))
+		for i, h := range half {
+			vals[i] = h.MeanImprovement
+		}
+		name := "actor-critic"
+		if noCritic {
+			name = "no critic"
+		}
+		fmt.Fprintf(tw, "  %s\t%.2f\t%.2f\t%.2f\n",
+			name, converged(hist, func(h core.EpochStats) float64 { return h.MeanImprovement }, 5),
+			stats.Std(vals), hist[len(hist)-1].RejectionRatio)
+	}
+	return tw.Flush()
+}
+
+// AblateBackfillVariant compares no backfilling, EASY, and conservative
+// backfilling as the simulated environment, with and without a trained
+// inspector on top.
+func AblateBackfillVariant(o Options) error {
+	o = o.withDefaults()
+	fmt.Fprintln(o.Out, "Ablation: backfilling variant in the simulated environment (SJF, SDSC-SP2, bsld)")
+	tr, err := o.trace("SDSC-SP2")
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(o.Out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  variant\tbase bsld\tinsp bsld\timprovement\tbase util\n")
+	for _, v := range []struct {
+		name                   string
+		backfill, conservative bool
+	}{
+		{"none", false, false},
+		{"EASY", true, false},
+		{"conservative", true, true},
+	} {
+		trainer, err := core.NewTrainer(core.TrainConfig{
+			Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD, Backfill: v.backfill,
+			SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := trainer.Train(o.Epochs, nil); err != nil {
+			return err
+		}
+		// Evaluation must use the matching simulator variant, including the
+		// conservative planner the trainer does not model.
+		res, err := evalWithVariant(trainer.Inspector(), tr, o, v.backfill, v.conservative)
+		if err != nil {
+			return err
+		}
+		b, i := res.Boxes(metrics.BSLD)
+		ub, _ := res.Boxes(metrics.Util)
+		fmt.Fprintf(tw, "  %s\t%.1f\t%.1f\t%+.1f%%\t%.1f%%\n",
+			v.name, b.Mean, i.Mean, 100*res.MeanImprovement(metrics.BSLD), 100*ub.Mean)
+	}
+	return tw.Flush()
+}
+
+// evalWithVariant mirrors core.Evaluate but allows the conservative
+// backfilling variant, which EvalConfig does not expose.
+func evalWithVariant(insp *core.Inspector, tr *workload.Trace, o Options, backfill, conservative bool) (core.EvalResult, error) {
+	rng := newSeededRNG(o.Seed + 2)
+	lo := tr.Split(0.2)
+	hi := tr.Len() - o.EvalSeqLen + 1
+	if hi <= lo {
+		lo = 0
+	}
+	simCfg := sim.Config{
+		MaxProcs: tr.MaxProcs, Policy: sched.SJF(),
+		Backfill: backfill, Conservative: conservative,
+	}
+	var out core.EvalResult
+	for i := 0; i < o.EvalSequences; i++ {
+		jobs := tr.RandomWindow(rng, o.EvalSeqLen, lo, hi)
+		simCfg.Inspector = nil
+		base, err := sim.Run(jobs, simCfg)
+		if err != nil {
+			return out, err
+		}
+		out.Base = append(out.Base, base.Summary(tr.MaxProcs))
+		simCfg.Inspector = insp.Stochastic()
+		ins, err := sim.Run(jobs, simCfg)
+		if err != nil {
+			return out, err
+		}
+		out.Insp = append(out.Insp, ins.Summary(tr.MaxProcs))
+		out.Inspections += ins.Inspections
+		out.Rejections += ins.Rejections
+	}
+	return out, nil
+}
+
+// RLSchedExperiment trains an RLScheduler-style learned policy, compares it
+// against SJF and F1, and then trains a SchedInspector on top of the frozen
+// learned policy — the paper's §7 future-work item.
+func RLSchedExperiment(o Options) error {
+	o = o.withDefaults()
+	fmt.Fprintln(o.Out, "Extension: SchedInspector over a learned RLScheduler-style policy (SDSC-SP2, bsld)")
+	tr, err := o.trace("SDSC-SP2")
+	if err != nil {
+		return err
+	}
+
+	rlTrainer, err := rlsched.NewTrainer(rlsched.TrainConfig{
+		Trace: tr, Metric: metrics.BSLD,
+		SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1,
+	})
+	if err != nil {
+		return err
+	}
+	hist, err := rlTrainer.Train(o.Epochs, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.Out, "  RLSched training: reward (pct vs SJF) %.3f -> %.3f over %d epochs\n",
+		hist[0].MeanReward, hist[len(hist)-1].MeanReward, len(hist))
+
+	pol := rlTrainer.Policy()
+	pol.SetSampling(false, nil)
+
+	// Head-to-head on held-out sequences.
+	rng := newSeededRNG(o.Seed + 2)
+	lo := tr.Split(0.2)
+	var sjfB, f1B, rlB stats.Welford
+	for i := 0; i < o.EvalSequences; i++ {
+		jobs := tr.RandomWindow(rng, o.EvalSeqLen, lo, 0)
+		for _, c := range []struct {
+			p sched.Policy
+			w *stats.Welford
+		}{{sched.SJF(), &sjfB}, {sched.F1(), &f1B}, {pol, &rlB}} {
+			res, err := sim.Run(jobs, sim.Config{MaxProcs: tr.MaxProcs, Policy: c.p})
+			if err != nil {
+				return err
+			}
+			c.w.Add(res.Summary(tr.MaxProcs).AvgBSLD)
+		}
+	}
+	fmt.Fprintf(o.Out, "  head-to-head mean bsld: SJF %.1f, F1 %.1f, RLSched %.1f\n",
+		sjfB.Mean(), f1B.Mean(), rlB.Mean())
+
+	// Inspector on top of the frozen learned policy.
+	inspTrainer, err := core.NewTrainer(core.TrainConfig{
+		Trace: tr, Policy: pol, Metric: metrics.BSLD,
+		SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 3,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := inspTrainer.Train(o.Epochs, nil); err != nil {
+		return err
+	}
+	res, err := core.Evaluate(inspTrainer.Inspector(), core.EvalConfig{
+		Trace: tr, Policy: pol, Metric: metrics.BSLD,
+		Sequences: o.EvalSequences, SeqLen: o.EvalSeqLen, Seed: o.Seed + 4,
+	})
+	if err != nil {
+		return err
+	}
+	b, i := res.Boxes(metrics.BSLD)
+	fmt.Fprintf(o.Out, "  inspector over RLSched: base %.1f -> inspected %.1f (%+.1f%%), rejection ratio %.2f\n",
+		b.Mean, i.Mean, 100*res.MeanImprovement(metrics.BSLD), res.RejectionRatio())
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package metrics implements the job-execution performance metrics the
+// paper optimizes and reports: average bounded slowdown (bsld), average
+// waiting time (wait), maximal bounded slowdown (mbsld), and system
+// utilization (util). See §2.1 and §4.4.3–4.4.4.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// InteractiveThreshold is the bounded-slowdown threshold in seconds: jobs
+// shorter than this are treated as 10-second jobs so tiny jobs do not
+// dominate the slowdown average (§2.1).
+const InteractiveThreshold = 10.0
+
+// JobResult records the outcome of one scheduled job.
+type JobResult struct {
+	ID     int
+	Submit float64 // arrival time
+	Start  float64 // execution start time
+	End    float64 // completion time (Start + actual runtime)
+	Run    float64 // actual runtime
+	Est    float64 // estimated runtime
+	Procs  int
+}
+
+// Wait returns the job's waiting time.
+func (r JobResult) Wait() float64 { return r.Start - r.Submit }
+
+// BoundedSlowdown returns max((wait+exe)/max(exe, 10), 1), using the actual
+// execution time as the paper does.
+func (r JobResult) BoundedSlowdown() float64 {
+	s := (r.Wait() + r.Run) / math.Max(r.Run, InteractiveThreshold)
+	return math.Max(s, 1)
+}
+
+// Metric identifies a job execution performance metric. The zero value is
+// BSLD, the paper's default.
+type Metric int
+
+const (
+	// BSLD is the average bounded job slowdown (minimize).
+	BSLD Metric = iota
+	// Wait is the average job waiting time in seconds (minimize).
+	Wait
+	// MBSLD is the maximal bounded job slowdown of the sequence (minimize).
+	MBSLD
+	// Util is the system utilization in [0,1] (maximize).
+	Util
+)
+
+// String returns the metric's short name as used in the paper.
+func (m Metric) String() string {
+	switch m {
+	case BSLD:
+		return "bsld"
+	case Wait:
+		return "wait"
+	case MBSLD:
+		return "mbsld"
+	case Util:
+		return "util"
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+// Minimize reports whether smaller values of the metric are better.
+func (m Metric) Minimize() bool { return m != Util }
+
+// ParseMetric converts a short name ("bsld", "wait", "mbsld", "util") into a
+// Metric.
+func ParseMetric(s string) (Metric, error) {
+	switch s {
+	case "bsld":
+		return BSLD, nil
+	case "wait":
+		return Wait, nil
+	case "mbsld":
+		return MBSLD, nil
+	case "util":
+		return Util, nil
+	}
+	return 0, fmt.Errorf("metrics: unknown metric %q", s)
+}
+
+// Summary aggregates every metric over one scheduled job sequence.
+type Summary struct {
+	Jobs     int
+	AvgBSLD  float64
+	AvgWait  float64
+	MaxBSLD  float64
+	Util     float64
+	Makespan float64 // last completion - first submit
+}
+
+// Of returns the requested metric value from the summary.
+func (s Summary) Of(m Metric) float64 {
+	switch m {
+	case BSLD:
+		return s.AvgBSLD
+	case Wait:
+		return s.AvgWait
+	case MBSLD:
+		return s.MaxBSLD
+	case Util:
+		return s.Util
+	}
+	panic("metrics: unknown metric " + m.String())
+}
+
+// Compute summarizes the results of a scheduled job sequence. Utilization is
+// core-seconds of actual execution divided by cluster capacity over the
+// horizon from the first submission to the last completion, so idle gaps
+// introduced by rejections lower it — the trade-off Table 5 studies.
+func Compute(results []JobResult, maxProcs int) Summary {
+	if len(results) == 0 {
+		return Summary{}
+	}
+	var s Summary
+	s.Jobs = len(results)
+	first := math.Inf(1)
+	last := math.Inf(-1)
+	var work float64
+	for _, r := range results {
+		bsld := r.BoundedSlowdown()
+		s.AvgBSLD += bsld
+		s.AvgWait += r.Wait()
+		if bsld > s.MaxBSLD {
+			s.MaxBSLD = bsld
+		}
+		if r.Submit < first {
+			first = r.Submit
+		}
+		if r.End > last {
+			last = r.End
+		}
+		work += r.Run * float64(r.Procs)
+	}
+	n := float64(len(results))
+	s.AvgBSLD /= n
+	s.AvgWait /= n
+	s.Makespan = last - first
+	if s.Makespan > 0 && maxProcs > 0 {
+		s.Util = work / (s.Makespan * float64(maxProcs))
+	}
+	return s
+}
+
+// Improvement returns how much better "insp" is than "orig" on metric m, as
+// the paper's percentage reward defines it: positive means the inspected run
+// wins. For minimized metrics it is (orig-insp)/orig; for util, the sign
+// flips.
+func Improvement(m Metric, orig, insp Summary) float64 {
+	o, i := orig.Of(m), insp.Of(m)
+	if o == 0 {
+		if i == 0 {
+			return 0
+		}
+		if m.Minimize() {
+			return math.Copysign(1, -i)
+		}
+		return math.Copysign(1, i)
+	}
+	if m.Minimize() {
+		return (o - i) / o
+	}
+	return (i - o) / o
+}
+
+// DeltaPerWaitingJob returns the expected per-job penalty of idling the
+// cluster for dt seconds while a job with the given estimated runtime waits,
+// under metric m (§3.3 "Queue delays"): dt/max(est,10) for slowdown metrics
+// and dt itself for wait.
+func DeltaPerWaitingJob(m Metric, dt, est float64) float64 {
+	switch m {
+	case BSLD, MBSLD:
+		return dt / math.Max(est, InteractiveThreshold)
+	default:
+		return dt
+	}
+}

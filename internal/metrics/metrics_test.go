@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestJobResultBasics(t *testing.T) {
+	r := JobResult{Submit: 10, Start: 25, End: 125, Run: 100, Est: 150, Procs: 4}
+	if got := r.Wait(); got != 15 {
+		t.Errorf("Wait = %v, want 15", got)
+	}
+	// (15+100)/max(100,10) = 1.15
+	if got := r.BoundedSlowdown(); math.Abs(got-1.15) > 1e-12 {
+		t.Errorf("BoundedSlowdown = %v, want 1.15", got)
+	}
+}
+
+func TestBoundedSlowdownThresholdAndFloor(t *testing.T) {
+	// short job: exe=2 < 10 → denominator is 10
+	r := JobResult{Submit: 0, Start: 8, End: 10, Run: 2}
+	if got := r.BoundedSlowdown(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("short job bsld = %v, want floor 1.0 ((8+2)/10=1)", got)
+	}
+	r = JobResult{Submit: 0, Start: 18, End: 20, Run: 2}
+	if got := r.BoundedSlowdown(); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("short job bsld = %v, want 2.0 ((18+2)/10)", got)
+	}
+	// zero-wait job: floor at 1
+	r = JobResult{Submit: 0, Start: 0, End: 100, Run: 100}
+	if got := r.BoundedSlowdown(); got != 1 {
+		t.Errorf("no-wait bsld = %v, want 1", got)
+	}
+}
+
+func TestMetricStringParse(t *testing.T) {
+	for _, m := range []Metric{BSLD, Wait, MBSLD, Util} {
+		got, err := ParseMetric(m.String())
+		if err != nil || got != m {
+			t.Errorf("round trip %v: got %v err %v", m, got, err)
+		}
+	}
+	if _, err := ParseMetric("nope"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if Metric(99).String() == "" {
+		t.Error("unknown metric String empty")
+	}
+	if !BSLD.Minimize() || !Wait.Minimize() || !MBSLD.Minimize() || Util.Minimize() {
+		t.Error("Minimize direction wrong")
+	}
+}
+
+func TestComputeSummary(t *testing.T) {
+	// Table 1 Case(a)-NoInspect from the paper: jobs J0,J1,J2 on 5 nodes.
+	// J0: submit 0, start 0, run 4 (est 4), 3 nodes (shortest)
+	// J2: submit 1, start 4+? ... use the simpler direct check instead:
+	results := []JobResult{
+		{ID: 1, Submit: 0, Start: 0, End: 50, Run: 50, Est: 50, Procs: 2},
+		{ID: 2, Submit: 0, Start: 50, End: 150, Run: 100, Est: 100, Procs: 4},
+	}
+	s := Compute(results, 4)
+	if s.Jobs != 2 {
+		t.Fatalf("Jobs = %d", s.Jobs)
+	}
+	if got := s.AvgWait; got != 25 {
+		t.Errorf("AvgWait = %v, want 25", got)
+	}
+	// bsld1 = 1, bsld2 = (50+100)/100 = 1.5 → avg 1.25, max 1.5
+	if math.Abs(s.AvgBSLD-1.25) > 1e-12 || math.Abs(s.MaxBSLD-1.5) > 1e-12 {
+		t.Errorf("bsld avg=%v max=%v, want 1.25/1.5", s.AvgBSLD, s.MaxBSLD)
+	}
+	if s.Makespan != 150 {
+		t.Errorf("Makespan = %v, want 150", s.Makespan)
+	}
+	// work = 50*2 + 100*4 = 500; capacity = 150*4 = 600
+	if math.Abs(s.Util-500.0/600.0) > 1e-12 {
+		t.Errorf("Util = %v, want %v", s.Util, 500.0/600.0)
+	}
+	if z := Compute(nil, 4); z.Jobs != 0 || z.Util != 0 {
+		t.Error("empty compute not zero")
+	}
+}
+
+func TestSummaryOf(t *testing.T) {
+	s := Summary{AvgBSLD: 1, AvgWait: 2, MaxBSLD: 3, Util: 0.4}
+	if s.Of(BSLD) != 1 || s.Of(Wait) != 2 || s.Of(MBSLD) != 3 || s.Of(Util) != 0.4 {
+		t.Error("Of dispatch wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Of(unknown) did not panic")
+		}
+	}()
+	s.Of(Metric(42))
+}
+
+func TestImprovement(t *testing.T) {
+	orig := Summary{AvgBSLD: 100, AvgWait: 200, Util: 0.5}
+	insp := Summary{AvgBSLD: 50, AvgWait: 300, Util: 0.6}
+	if got := Improvement(BSLD, orig, insp); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("bsld improvement = %v, want 0.5", got)
+	}
+	if got := Improvement(Wait, orig, insp); math.Abs(got+0.5) > 1e-12 {
+		t.Errorf("wait improvement = %v, want -0.5", got)
+	}
+	// util is maximized: 0.5→0.6 is +20%
+	if got := Improvement(Util, orig, insp); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("util improvement = %v, want 0.2", got)
+	}
+	// zero baselines must not divide by zero
+	if got := Improvement(BSLD, Summary{}, Summary{}); got != 0 {
+		t.Errorf("0/0 improvement = %v", got)
+	}
+	if got := Improvement(BSLD, Summary{}, Summary{AvgBSLD: 5}); got >= 0 {
+		t.Errorf("worse-than-zero baseline should be negative, got %v", got)
+	}
+}
+
+func TestDeltaPerWaitingJob(t *testing.T) {
+	if got := DeltaPerWaitingJob(BSLD, 100, 50); got != 2 {
+		t.Errorf("bsld delta = %v, want 2", got)
+	}
+	if got := DeltaPerWaitingJob(BSLD, 100, 2); got != 10 {
+		t.Errorf("bsld delta short est = %v, want 10 (threshold)", got)
+	}
+	if got := DeltaPerWaitingJob(Wait, 100, 50); got != 100 {
+		t.Errorf("wait delta = %v, want 100", got)
+	}
+	if got := DeltaPerWaitingJob(MBSLD, 50, 25); got != 2 {
+		t.Errorf("mbsld delta = %v, want 2", got)
+	}
+}
+
+// Property: bounded slowdown is always >= 1 and increases with waiting time.
+func TestBoundedSlowdownProperties(t *testing.T) {
+	f := func(wait, run uint32) bool {
+		w := float64(wait % 1000000)
+		r := 1 + float64(run%1000000)
+		j1 := JobResult{Submit: 0, Start: w, End: w + r, Run: r}
+		j2 := JobResult{Submit: 0, Start: w + 10, End: w + 10 + r, Run: r}
+		return j1.BoundedSlowdown() >= 1 && j2.BoundedSlowdown() >= j1.BoundedSlowdown()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: utilization is within (0, 1] when jobs never overlap illegally
+// (sequential single-proc schedule on a 1-proc cluster with no idle time).
+func TestUtilProperty(t *testing.T) {
+	f := func(runs []uint16) bool {
+		if len(runs) == 0 {
+			return true
+		}
+		var rs []JobResult
+		now := 0.0
+		for i, r := range runs {
+			d := 1 + float64(r%10000)
+			rs = append(rs, JobResult{ID: i, Submit: 0, Start: now, End: now + d, Run: d, Procs: 1})
+			now += d
+		}
+		u := Compute(rs, 1).Util
+		return math.Abs(u-1.0) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

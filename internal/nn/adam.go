@@ -1,0 +1,72 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba) over an MLP's parameters.
+type Adam struct {
+	LR      float64 // learning rate (paper: 1e-3)
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t      int
+	mW, vW [][]float64
+	mB, vB [][]float64
+}
+
+// NewAdam creates an optimizer for m with the given learning rate and
+// standard moment decay rates (0.9, 0.999, eps 1e-8).
+func NewAdam(m *MLP, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+	a.mW = make([][]float64, len(m.W))
+	a.vW = make([][]float64, len(m.W))
+	a.mB = make([][]float64, len(m.B))
+	a.vB = make([][]float64, len(m.B))
+	for l := range m.W {
+		a.mW[l] = make([]float64, len(m.W[l]))
+		a.vW[l] = make([]float64, len(m.W[l]))
+		a.mB[l] = make([]float64, len(m.B[l]))
+		a.vB[l] = make([]float64, len(m.B[l]))
+	}
+	return a
+}
+
+// Step applies one descent update to m using gradients g (of the loss to
+// minimize).
+func (a *Adam) Step(m *MLP, g *Grads) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for l := range m.W {
+		adamUpdate(m.W[l], g.W[l], a.mW[l], a.vW[l], a.LR, a.Beta1, a.Beta2, a.Epsilon, c1, c2)
+		adamUpdate(m.B[l], g.B[l], a.mB[l], a.vB[l], a.LR, a.Beta1, a.Beta2, a.Epsilon, c1, c2)
+	}
+}
+
+func adamUpdate(p, g, mo, vo []float64, lr, b1, b2, eps, c1, c2 float64) {
+	for i := range p {
+		mo[i] = b1*mo[i] + (1-b1)*g[i]
+		vo[i] = b2*vo[i] + (1-b2)*g[i]*g[i]
+		mh := mo[i] / c1
+		vh := vo[i] / c2
+		p[i] -= lr * mh / (math.Sqrt(vh) + eps)
+	}
+}
+
+// SGD is a plain stochastic-gradient-descent optimizer, kept for ablations
+// and tests.
+type SGD struct {
+	LR float64
+}
+
+// Step applies one descent update.
+func (s SGD) Step(m *MLP, g *Grads) {
+	for l := range m.W {
+		for i := range m.W[l] {
+			m.W[l][i] -= s.LR * g.W[l][i]
+		}
+		for i := range m.B[l] {
+			m.B[l][i] -= s.LR * g.B[l][i]
+		}
+	}
+}

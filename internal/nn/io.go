@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save writes the network's architecture and parameters to w in gob format.
+func (m *MLP) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*MLP, error) {
+	var m MLP
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	if len(m.Sizes) < 2 || len(m.W) != len(m.Sizes)-1 || len(m.B) != len(m.W) || len(m.Acts) != len(m.W) {
+		return nil, fmt.Errorf("nn: load: inconsistent network shape")
+	}
+	for l := range m.W {
+		if len(m.W[l]) != m.Sizes[l]*m.Sizes[l+1] || len(m.B[l]) != m.Sizes[l+1] {
+			return nil, fmt.Errorf("nn: load: layer %d has wrong parameter count", l)
+		}
+	}
+	return &m, nil
+}
+
+// SaveFile writes the network to a file, creating or truncating it.
+func (m *MLP) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a network from a file written by SaveFile.
+func LoadFile(path string) (*MLP, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,317 @@
+// Package rl implements the reinforcement-learning machinery SchedInspector
+// trains with (§3, §4.1): a categorical actor-critic over two small MLPs and
+// Proximal Policy Optimization with a clipped surrogate objective, entropy
+// regularization and approximate-KL early stopping.
+//
+// Rewards are sparse: the paper holds intermediate rewards at zero and pays
+// a single terminal reward per trajectory, so with an undiscounted horizon
+// every step's return equals the trajectory's final reward; the critic
+// supplies the variance-reducing baseline.
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"schedinspector/internal/nn"
+)
+
+// Step is one agent interaction: an observation, the sampled action, and
+// the log-probability the behavior policy assigned to it.
+type Step struct {
+	Obs    []float64
+	Action int
+	LogP   float64
+}
+
+// Trajectory is a full episode: its steps and the terminal reward.
+type Trajectory struct {
+	Steps  []Step
+	Reward float64
+}
+
+// Agent is a categorical actor-critic.
+type Agent struct {
+	Policy *nn.MLP // obs -> action logits
+	Value  *nn.MLP // obs -> scalar state value
+
+	rng      *rand.Rand
+	polCache nn.Cache
+	valCache nn.Cache
+	probs    []float64
+}
+
+// NewAgent builds an actor-critic pair. Both networks share the same hidden
+// architecture (the paper's policy and value networks are identical): hidden
+// layer sizes hidden, tanh activations, nActions policy logits and a scalar
+// value head.
+func NewAgent(rng *rand.Rand, obsDim int, hidden []int, nActions int) *Agent {
+	if obsDim <= 0 || nActions < 2 {
+		panic("rl: need positive obs dim and at least 2 actions")
+	}
+	polSizes := append(append([]int{obsDim}, hidden...), nActions)
+	valSizes := append(append([]int{obsDim}, hidden...), 1)
+	return &Agent{
+		Policy: nn.New(rng, polSizes, nn.Tanh, nn.Identity),
+		Value:  nn.New(rng, valSizes, nn.Tanh, nn.Identity),
+		rng:    rng,
+		probs:  make([]float64, nActions),
+	}
+}
+
+// Sample draws an action from the current policy and returns it with its
+// log-probability.
+func (a *Agent) Sample(obs []float64) (action int, logp float64) {
+	logits := a.Policy.Forward(obs, &a.polCache)
+	p := nn.Softmax(logits, a.probs)
+	u := a.rng.Float64()
+	action = len(p) - 1
+	acc := 0.0
+	for i, pi := range p {
+		acc += pi
+		if u <= acc {
+			action = i
+			break
+		}
+	}
+	return action, math.Log(math.Max(p[action], 1e-12))
+}
+
+// Greedy returns the argmax action of the current policy (inference mode).
+func (a *Agent) Greedy(obs []float64) int {
+	logits := a.Policy.Forward(obs, &a.polCache)
+	best := 0
+	for i := 1; i < len(logits); i++ {
+		if logits[i] > logits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ActionProb returns the probability the policy assigns to action for obs.
+func (a *Agent) ActionProb(obs []float64, action int) float64 {
+	logits := a.Policy.Forward(obs, &a.polCache)
+	return nn.Softmax(logits, a.probs)[action]
+}
+
+// StateValue returns the critic's value estimate for obs.
+func (a *Agent) StateValue(obs []float64) float64 {
+	return a.Value.Forward(obs, &a.valCache)[0]
+}
+
+// PPOConfig holds the optimization hyperparameters.
+type PPOConfig struct {
+	LR          float64 // Adam learning rate for both networks (paper: 1e-3)
+	ClipRatio   float64 // PPO clipping epsilon (default 0.2)
+	PolicyIters int     // gradient passes over the batch per update (default 10)
+	ValueIters  int     // critic passes per update (default 10)
+	TargetKL    float64 // early-stop threshold on approx KL (default 0.015)
+	EntropyCoef float64 // entropy bonus weight (default 0.01)
+	MaxGradNorm float64 // global-norm gradient clip (default 1.0)
+
+	// NoCritic disables the value-network baseline: advantages are the raw
+	// (normalized) returns and the critic is not trained. The paper's §3.1
+	// reports high training variance in this configuration; the repository
+	// keeps it as an ablation.
+	NoCritic bool
+}
+
+func (c PPOConfig) withDefaults() PPOConfig {
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.ClipRatio == 0 {
+		c.ClipRatio = 0.2
+	}
+	if c.PolicyIters == 0 {
+		c.PolicyIters = 10
+	}
+	if c.ValueIters == 0 {
+		c.ValueIters = 10
+	}
+	if c.TargetKL == 0 {
+		c.TargetKL = 0.015
+	}
+	if c.EntropyCoef == 0 {
+		c.EntropyCoef = 0.01
+	}
+	if c.MaxGradNorm == 0 {
+		c.MaxGradNorm = 1.0
+	}
+	return c
+}
+
+// PPO optimizes an Agent from batches of trajectories.
+type PPO struct {
+	cfg    PPOConfig
+	agent  *Agent
+	polOpt *nn.Adam
+	valOpt *nn.Adam
+	polG   *nn.Grads
+	valG   *nn.Grads
+}
+
+// NewPPO creates the optimizer for agent.
+func NewPPO(agent *Agent, cfg PPOConfig) *PPO {
+	cfg = cfg.withDefaults()
+	return &PPO{
+		cfg:    cfg,
+		agent:  agent,
+		polOpt: nn.NewAdam(agent.Policy, cfg.LR),
+		valOpt: nn.NewAdam(agent.Value, cfg.LR),
+		polG:   nn.NewGrads(agent.Policy),
+		valG:   nn.NewGrads(agent.Value),
+	}
+}
+
+// UpdateStats reports what one PPO update did.
+type UpdateStats struct {
+	Steps       int     // transitions in the batch
+	MeanReward  float64 // mean terminal reward across trajectories
+	ApproxKL    float64 // KL estimate at the last policy pass
+	PolicyIters int     // passes actually run (early stop may cut them)
+	ValueLoss   float64 // critic MSE after the update
+	Entropy     float64 // mean policy entropy over the batch
+}
+
+// flatSample is one transition with its computed return and advantage.
+type flatSample struct {
+	obs  []float64
+	act  int
+	logp float64
+	ret  float64
+	adv  float64
+}
+
+// Update runs one PPO update over the batch and returns statistics.
+func (p *PPO) Update(batch []Trajectory) (UpdateStats, error) {
+	var flat []flatSample
+	var stats UpdateStats
+	for _, tr := range batch {
+		stats.MeanReward += tr.Reward
+		for _, s := range tr.Steps {
+			if len(s.Obs) != p.agent.Policy.InputSize() {
+				return stats, fmt.Errorf("rl: observation size %d, want %d", len(s.Obs), p.agent.Policy.InputSize())
+			}
+			// Undiscounted sparse terminal reward: every step's return is the
+			// trajectory's final reward.
+			flat = append(flat, flatSample{obs: s.Obs, act: s.Action, logp: s.LogP, ret: tr.Reward})
+		}
+	}
+	if len(batch) > 0 {
+		stats.MeanReward /= float64(len(batch))
+	}
+	if len(flat) == 0 {
+		return stats, nil
+	}
+	stats.Steps = len(flat)
+
+	// Advantages: return minus critic baseline (unless ablated), normalized
+	// across the batch.
+	var mean, m2 float64
+	for i := range flat {
+		flat[i].adv = flat[i].ret
+		if !p.cfg.NoCritic {
+			flat[i].adv -= p.agent.StateValue(flat[i].obs)
+		}
+		d := flat[i].adv - mean
+		mean += d / float64(i+1)
+		m2 += d * (flat[i].adv - mean)
+	}
+	std := math.Sqrt(m2/float64(len(flat))) + 1e-8
+	for i := range flat {
+		flat[i].adv = (flat[i].adv - mean) / std
+	}
+
+	stats.PolicyIters, stats.ApproxKL, stats.Entropy = p.updatePolicy(flat)
+	if !p.cfg.NoCritic {
+		stats.ValueLoss = p.updateValue(flat)
+	}
+	return stats, nil
+}
+
+// updatePolicy runs clipped-surrogate passes with entropy bonus and KL early
+// stopping. Returns passes run, final approximate KL, and mean entropy.
+func (p *PPO) updatePolicy(flat []flatSample) (iters int, kl, entropy float64) {
+	nA := p.agent.Policy.OutputSize()
+	dLogits := make([]float64, nA)
+	probs := make([]float64, nA)
+	var cache nn.Cache
+
+	for iter := 0; iter < p.cfg.PolicyIters; iter++ {
+		p.polG.Zero()
+		var klSum, entSum float64
+		for i := range flat {
+			s := &flat[i]
+			logits := p.agent.Policy.Forward(s.obs, &cache)
+			nn.Softmax(logits, probs)
+			logpNew := math.Log(math.Max(probs[s.act], 1e-12))
+			ratio := math.Exp(logpNew - s.logp)
+			klSum += s.logp - logpNew
+
+			// Clipped surrogate: gradient flows only when unclipped.
+			coef := 0.0
+			if s.adv >= 0 && ratio < 1+p.cfg.ClipRatio || s.adv < 0 && ratio > 1-p.cfg.ClipRatio {
+				coef = -ratio * s.adv // d(-surrogate)/d(logpNew)
+			}
+
+			var h float64
+			for _, q := range probs {
+				if q > 0 {
+					h -= q * math.Log(q)
+				}
+			}
+			entSum += h
+
+			for k := 0; k < nA; k++ {
+				ind := 0.0
+				if k == s.act {
+					ind = 1
+				}
+				// d logpNew / d logits_k = ind - p_k
+				dLogits[k] = coef * (ind - probs[k])
+				// entropy bonus: loss -= c*H, dH/dl_k = -p_k(log p_k + H)
+				if probs[k] > 0 {
+					dLogits[k] += p.cfg.EntropyCoef * probs[k] * (math.Log(probs[k]) + h)
+				}
+			}
+			p.agent.Policy.Backward(&cache, dLogits, p.polG)
+		}
+		kl = klSum / float64(len(flat))
+		entropy = entSum / float64(len(flat))
+		iters = iter + 1
+		if kl > 1.5*p.cfg.TargetKL && iter > 0 {
+			break // stop before applying a step that drifts too far
+		}
+		p.polG.Scale(1 / float64(len(flat)))
+		p.polG.ClipGlobalNorm(p.cfg.MaxGradNorm)
+		p.polOpt.Step(p.agent.Policy, p.polG)
+	}
+	return iters, kl, entropy
+}
+
+// updateValue fits the critic to the returns with MSE; returns final loss.
+func (p *PPO) updateValue(flat []flatSample) float64 {
+	var cache nn.Cache
+	dOut := []float64{0}
+	var loss float64
+	for iter := 0; iter < p.cfg.ValueIters; iter++ {
+		p.valG.Zero()
+		loss = 0
+		for i := range flat {
+			s := &flat[i]
+			v := p.agent.Value.Forward(s.obs, &cache)[0]
+			d := v - s.ret
+			loss += 0.5 * d * d
+			dOut[0] = d
+			p.agent.Value.Backward(&cache, dOut, p.valG)
+		}
+		loss /= float64(len(flat))
+		p.valG.Scale(1 / float64(len(flat)))
+		p.valG.ClipGlobalNorm(p.cfg.MaxGradNorm)
+		p.valOpt.Step(p.agent.Value, p.valG)
+	}
+	return loss
+}

@@ -1,0 +1,273 @@
+// Package rlsched implements an RLScheduler-style learned batch scheduling
+// policy (Zhang et al., SC'20) — the "intelligent scheduling policy" the
+// SchedInspector paper compares against in related work and names as a
+// future-work integration target (§7).
+//
+// Unlike the heuristics of Table 3, this policy scores every waiting job
+// with a shared kernel network and picks among them with a softmax (during
+// training) or argmax (at evaluation time). It plugs into the same
+// simulator as the heuristics via sched.Policy + sched.Selector, which also
+// means a SchedInspector can be trained on top of it unchanged — the
+// repository's "inspector over a learned scheduler" extension experiment.
+package rlsched
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"schedinspector/internal/nn"
+	"schedinspector/internal/workload"
+)
+
+// MaxObserve caps how many waiting jobs the policy scores per decision
+// (RLScheduler observes a fixed window of the queue; excess jobs are
+// considered only after the observed ones drain).
+const MaxObserve = 64
+
+// kernelFeatures is the per-job input dimensionality of the kernel network:
+// waiting time, estimated runtime, requested processors, runnable bit, and
+// the cluster's free fraction.
+const kernelFeatures = 5
+
+// Norm holds the feature scaling constants (a small subset of the
+// inspector's normalizer, kept local to avoid a dependency cycle).
+type Norm struct {
+	MaxEst   float64
+	MeanEst  float64
+	MaxProcs int
+}
+
+// NormForTrace derives scaling constants from a trace.
+func NormForTrace(t *workload.Trace) Norm {
+	s := workload.ComputeStats(t)
+	n := Norm{MaxEst: s.MaxEst, MeanEst: s.MeanEst, MaxProcs: s.MaxProcs}
+	if n.MaxEst <= 0 {
+		n.MaxEst = 1
+	}
+	if n.MeanEst <= 0 {
+		n.MeanEst = 1
+	}
+	if n.MaxProcs <= 0 {
+		n.MaxProcs = 1
+	}
+	return n
+}
+
+// features writes the kernel input for job j into dst.
+func (n Norm) features(dst []float64, j *workload.Job, now float64, free, total int) {
+	wait := now - j.Submit
+	dst[0] = wait / (wait + n.MeanEst)
+	dst[1] = math.Min(j.Est/n.MaxEst, 1)
+	dst[2] = math.Min(float64(j.Procs)/float64(n.MaxProcs), 1)
+	if j.Procs <= free {
+		dst[3] = 1
+	} else {
+		dst[3] = 0
+	}
+	dst[4] = float64(free) / float64(total)
+}
+
+// Step is one recorded scheduling decision for PPO: the candidate feature
+// matrix, the chosen index, and the behavior log-probability.
+type Step struct {
+	Cands  [][]float64 // per-candidate kernel inputs
+	Pooled []float64   // value-network input
+	Chosen int
+	LogP   float64
+}
+
+// Policy is the learned scheduler. It implements sched.Policy (Score orders
+// backfill candidates deterministically) and sched.Selector (Select makes
+// the scheduling decision).
+type Policy struct {
+	Kernel *nn.MLP // kernelFeatures -> 1 logit
+	Value  *nn.MLP // kernelFeatures (pooled) -> 1
+	Norm   Norm
+
+	rng      *rand.Rand
+	sampling bool    // softmax sampling + recording vs argmax
+	rec      *[]Step // set during training
+
+	// scratch
+	cache  nn.Cache
+	feat   []float64
+	logits []float64
+	probs  []float64
+
+	lastFree, lastTotal int // cluster view from the latest Select, used by Score
+}
+
+// New creates an untrained policy with the given hidden sizes (default
+// 32/16/8, matching the inspector's scale).
+func New(rng *rand.Rand, norm Norm, hidden []int) *Policy {
+	if len(hidden) == 0 {
+		hidden = []int{32, 16, 8}
+	}
+	kSizes := append(append([]int{kernelFeatures}, hidden...), 1)
+	return &Policy{
+		Kernel: nn.New(rng, kSizes, nn.Tanh, nn.Identity),
+		Value:  nn.New(rng, kSizes, nn.Tanh, nn.Identity),
+		Norm:   norm,
+		rng:    rng,
+		feat:   make([]float64, kernelFeatures),
+	}
+}
+
+// Name implements sched.Policy.
+func (p *Policy) Name() string { return "RLSched" }
+
+// SetSampling toggles softmax exploration (training) vs argmax (greedy).
+func (p *Policy) SetSampling(on bool, rec *[]Step) {
+	p.sampling = on
+	p.rec = rec
+}
+
+// Score implements sched.Policy for backfill ordering: the negated kernel
+// logit, so higher-scoring jobs backfill first. It uses the cluster view of
+// the most recent Select call.
+func (p *Policy) Score(j *workload.Job, now float64) float64 {
+	free, total := p.lastFree, p.lastTotal
+	if total == 0 {
+		total = p.Norm.MaxProcs
+		free = total
+	}
+	p.Norm.features(p.feat, j, now, free, total)
+	return -p.Kernel.Forward(p.feat, &p.cache)[0]
+}
+
+// Select implements sched.Selector: score every observed candidate, then
+// sample (training) or argmax (evaluation).
+func (p *Policy) Select(queue []workload.Job, now float64, free, total int) int {
+	p.lastFree, p.lastTotal = free, total
+	n := len(queue)
+	if n == 0 {
+		return -1
+	}
+	if n > MaxObserve {
+		n = MaxObserve
+	}
+	if cap(p.logits) < n {
+		p.logits = make([]float64, n)
+		p.probs = make([]float64, n)
+	}
+	logits := p.logits[:n]
+
+	var cands [][]float64
+	if p.sampling && p.rec != nil {
+		cands = make([][]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		p.Norm.features(p.feat, &queue[i], now, free, total)
+		logits[i] = p.Kernel.Forward(p.feat, &p.cache)[0]
+		if cands != nil {
+			cands[i] = append([]float64(nil), p.feat...)
+		}
+	}
+
+	if !p.sampling {
+		best := 0
+		for i := 1; i < n; i++ {
+			if logits[i] > logits[best] {
+				best = i
+			}
+		}
+		return best
+	}
+
+	probs := nn.Softmax(logits, p.probs[:n])
+	u := p.rng.Float64()
+	chosen := n - 1
+	acc := 0.0
+	for i, q := range probs {
+		acc += q
+		if u <= acc {
+			chosen = i
+			break
+		}
+	}
+	if p.rec != nil {
+		*p.rec = append(*p.rec, Step{
+			Cands:  cands,
+			Pooled: pool(cands, p.feat),
+			Chosen: chosen,
+			LogP:   math.Log(math.Max(probs[chosen], 1e-12)),
+		})
+	}
+	return chosen
+}
+
+// pool aggregates candidate features into the value-network input: the
+// element-wise mean of the candidate matrix (scratch is only used for
+// sizing; the result is freshly allocated since it is retained in Steps).
+func pool(cands [][]float64, scratch []float64) []float64 {
+	out := make([]float64, len(scratch))
+	if len(cands) == 0 {
+		return out
+	}
+	for _, c := range cands {
+		for k, v := range c {
+			out[k] += v
+		}
+	}
+	for k := range out {
+		out[k] /= float64(len(cands))
+	}
+	return out
+}
+
+// savedPolicy is the on-disk format.
+type savedPolicy struct {
+	Kernel *nn.MLP
+	Value  *nn.MLP
+	Norm   Norm
+}
+
+// Save serializes the policy.
+func (p *Policy) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(&savedPolicy{p.Kernel, p.Value, p.Norm}); err != nil {
+		return fmt.Errorf("rlsched: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a policy written by Save.
+func Load(r io.Reader, rng *rand.Rand) (*Policy, error) {
+	var s savedPolicy
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("rlsched: load: %w", err)
+	}
+	if s.Kernel == nil || s.Value == nil || s.Kernel.InputSize() != kernelFeatures {
+		return nil, fmt.Errorf("rlsched: load: malformed policy")
+	}
+	return &Policy{
+		Kernel: s.Kernel, Value: s.Value, Norm: s.Norm,
+		rng: rng, feat: make([]float64, kernelFeatures),
+	}, nil
+}
+
+// SaveFile writes the policy to path.
+func (p *Policy) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("rlsched: %w", err)
+	}
+	defer f.Close()
+	if err := p.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a policy from path.
+func LoadFile(path string, rng *rand.Rand) (*Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("rlsched: %w", err)
+	}
+	defer f.Close()
+	return Load(f, rng)
+}

@@ -1,0 +1,118 @@
+// Package sched implements the base batch-job scheduling policies of
+// Table 3 in the paper — FCFS, LCFS, SJF, SQF, SAF, SRF and the
+// machine-learned F1 heuristic of Carastan-Santos & de Camargo — plus the
+// Slurm multifactor priority policy used in §4.5. SchedInspector never
+// modifies these policies; it only accepts or rejects their decisions.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"schedinspector/internal/workload"
+)
+
+// Policy assigns a priority score to each waiting job. The job with the
+// LOWEST score is scheduled first; the simulator breaks ties by smaller job
+// ID, as the paper's motivating example does.
+type Policy interface {
+	Name() string
+	// Score rates job j at the current simulation time. Lower runs first.
+	Score(j *workload.Job, now float64) float64
+}
+
+// UsageObserver is implemented by stateful policies (Slurm fairshare) that
+// must see jobs start to update accounting. The simulator calls ObserveStart
+// exactly once per started job.
+type UsageObserver interface {
+	ObserveStart(j *workload.Job, now float64)
+}
+
+// Selector is implemented by policies that pick the next job directly from
+// the whole waiting queue instead of through a per-job score — learned
+// policies such as the RLScheduler-style kernel network. When a Policy also
+// implements Selector, the simulator calls Select for the scheduling
+// decision (Score is still used to order backfill candidates). Select
+// returns an index into queue; out-of-range values fall back to the
+// score-based pick.
+type Selector interface {
+	Select(queue []workload.Job, now float64, freeProcs, totalProcs int) int
+}
+
+// Resetter is implemented by stateful policies whose accounting must be
+// cleared between independent simulation runs.
+type Resetter interface {
+	Reset()
+}
+
+type simple struct {
+	name  string
+	score func(j *workload.Job, now float64) float64
+}
+
+func (p simple) Name() string                               { return p.name }
+func (p simple) Score(j *workload.Job, now float64) float64 { return p.score(j, now) }
+
+// FCFS schedules the job that has waited longest (first come, first served).
+func FCFS() Policy {
+	return simple{"FCFS", func(j *workload.Job, _ float64) float64 { return j.Submit }}
+}
+
+// LCFS schedules the most recently submitted job first.
+func LCFS() Policy {
+	return simple{"LCFS", func(j *workload.Job, _ float64) float64 { return -j.Submit }}
+}
+
+// SJF schedules the job with the smallest estimated runtime first.
+func SJF() Policy {
+	return simple{"SJF", func(j *workload.Job, _ float64) float64 { return j.Est }}
+}
+
+// SQF schedules the job with the smallest resource request first.
+func SQF() Policy {
+	return simple{"SQF", func(j *workload.Job, _ float64) float64 { return float64(j.Procs) }}
+}
+
+// SAF schedules the job with the smallest estimated area (est*procs) first.
+func SAF() Policy {
+	return simple{"SAF", func(j *workload.Job, _ float64) float64 { return j.Area() }}
+}
+
+// SRF schedules the job with the smallest estimated ratio (est/procs) first.
+func SRF() Policy {
+	return simple{"SRF", func(j *workload.Job, _ float64) float64 { return j.Ratio() }}
+}
+
+// F1 is the learned non-linear heuristic of Carastan-Santos & de Camargo
+// (SC'17): score = log10(est)*procs + 870*log10(submit). It is the
+// state-of-the-art baseline the paper compares against for bsld.
+func F1() Policy {
+	return simple{"F1", func(j *workload.Job, _ float64) float64 {
+		return math.Log10(math.Max(j.Est, 1))*float64(j.Procs) +
+			870*math.Log10(math.Max(j.Submit, 1))
+	}}
+}
+
+// ByName returns a fresh stateless policy by its Table 3 abbreviation.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "FCFS":
+		return FCFS(), nil
+	case "LCFS":
+		return LCFS(), nil
+	case "SJF":
+		return SJF(), nil
+	case "SQF":
+		return SQF(), nil
+	case "SAF":
+		return SAF(), nil
+	case "SRF":
+		return SRF(), nil
+	case "F1":
+		return F1(), nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q", name)
+}
+
+// PaperPolicies lists the Table 3 policies in paper order.
+func PaperPolicies() []string { return []string{"FCFS", "LCFS", "SJF", "SAF", "SRF", "F1"} }

@@ -1,0 +1,137 @@
+// Package serve exposes a trained SchedInspector model over HTTP/JSON —
+// the integration surface a production scheduler (e.g. a Slurm plugin, the
+// paper's §7 future-work item) would call at each scheduling point. The
+// handler is stateless per request and safe for concurrent use.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"schedinspector/internal/core"
+	"schedinspector/internal/sim"
+	"schedinspector/internal/workload"
+)
+
+// InspectRequest is the scheduling context of one decision, mirroring
+// sim.State. Times are seconds; processor counts are absolute.
+type InspectRequest struct {
+	Job struct {
+		Wait  float64 `json:"wait"`
+		Est   float64 `json:"est"`
+		Procs int     `json:"procs"`
+	} `json:"job"`
+	Rejections      int         `json:"rejections"`
+	FreeProcs       int         `json:"free_procs"`
+	TotalProcs      int         `json:"total_procs"`
+	BackfillEnabled bool        `json:"backfill_enabled"`
+	BackfillCount   int         `json:"backfill_count"`
+	Queue           []QueueItem `json:"queue"`
+}
+
+// QueueItem is one waiting job in the request.
+type QueueItem struct {
+	Wait  float64 `json:"wait"`
+	Est   float64 `json:"est"`
+	Procs int     `json:"procs"`
+}
+
+// InspectResponse is the inspector's verdict.
+type InspectResponse struct {
+	Reject     bool    `json:"reject"`      // sampled decision (deployment mode)
+	RejectProb float64 `json:"reject_prob"` // the policy's rejection probability
+}
+
+// InfoResponse describes the served model.
+type InfoResponse struct {
+	FeatureMode string  `json:"feature_mode"`
+	Metric      string  `json:"metric"`
+	MaxProcs    int     `json:"max_procs"`
+	MaxEst      float64 `json:"max_est"`
+	Params      int     `json:"policy_params"`
+}
+
+// Handler serves one inspector model.
+type Handler struct {
+	mu   sync.Mutex // the inspector reuses internal buffers
+	insp *core.Inspector
+	mux  *http.ServeMux
+}
+
+// NewHandler wraps the inspector in an http.Handler with routes
+// POST /v1/inspect and GET /v1/info (also served at /healthz).
+func NewHandler(insp *core.Inspector) *Handler {
+	h := &Handler{insp: insp, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/inspect", h.inspect)
+	h.mux.HandleFunc("/v1/info", h.info)
+	h.mux.HandleFunc("/healthz", h.info)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func (h *Handler) inspect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req InspectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Job.Procs <= 0 || req.Job.Est <= 0 || req.TotalProcs <= 0 {
+		http.Error(w, "job.procs, job.est and total_procs must be positive", http.StatusBadRequest)
+		return
+	}
+	if req.FreeProcs < 0 || req.FreeProcs > req.TotalProcs {
+		http.Error(w, "free_procs out of range", http.StatusBadRequest)
+		return
+	}
+
+	st := &sim.State{
+		Job:             workload.Job{Est: req.Job.Est, Procs: req.Job.Procs},
+		JobWait:         req.Job.Wait,
+		Rejections:      req.Rejections,
+		FreeProcs:       req.FreeProcs,
+		TotalProcs:      req.TotalProcs,
+		Runnable:        req.Job.Procs <= req.FreeProcs,
+		BackfillEnabled: req.BackfillEnabled,
+		BackfillCount:   req.BackfillCount,
+	}
+	for _, q := range req.Queue {
+		st.Queue = append(st.Queue, sim.QueueItem{Wait: q.Wait, Est: q.Est, Procs: q.Procs})
+	}
+
+	h.mu.Lock()
+	prob := h.insp.RejectProb(st)
+	reject := h.insp.Stochastic()(st)
+	h.mu.Unlock()
+
+	writeJSON(w, InspectResponse{Reject: reject, RejectProb: prob})
+}
+
+func (h *Handler) info(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	h.mu.Lock()
+	resp := InfoResponse{
+		FeatureMode: h.insp.Mode.String(),
+		Metric:      h.insp.Norm.Metric.String(),
+		MaxProcs:    h.insp.Norm.MaxProcs,
+		MaxEst:      h.insp.Norm.MaxEst,
+		Params:      h.insp.Agent.Policy.NumParams(),
+	}
+	h.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"schedinspector/internal/metrics"
+)
+
+// WriteGantt renders a schedule as an ASCII Gantt chart: one row per job
+// ('.' waiting, '#' running) plus a cluster-occupancy strip, scaled to
+// width columns. It is a debugging and teaching aid — the examples use it
+// to make scheduling decisions visible — not a plotting substitute.
+func WriteGantt(w io.Writer, results []metrics.JobResult, maxProcs, width int) error {
+	if len(results) == 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	if width < 10 {
+		width = 10
+	}
+	t0 := results[0].Submit
+	t1 := results[0].End
+	for _, r := range results {
+		if r.Submit < t0 {
+			t0 = r.Submit
+		}
+		if r.End > t1 {
+			t1 = r.End
+		}
+	}
+	span := t1 - t0
+	if span <= 0 {
+		span = 1
+	}
+	col := func(t float64) int {
+		c := int(float64(width) * (t - t0) / span)
+		if c < 0 {
+			c = 0
+		}
+		if c > width {
+			c = width
+		}
+		return c
+	}
+
+	rows := append([]metrics.JobResult(nil), results...)
+	sort.Slice(rows, func(i, k int) bool {
+		if rows[i].Submit != rows[k].Submit {
+			return rows[i].Submit < rows[k].Submit
+		}
+		return rows[i].ID < rows[k].ID
+	})
+
+	for _, r := range rows {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for i := col(r.Submit); i < col(r.Start) && i < width; i++ {
+			line[i] = '.'
+		}
+		for i := col(r.Start); i < col(r.End) && i < width; i++ {
+			line[i] = '#'
+		}
+		// mark at least one cell for very short jobs
+		if c := col(r.Start); c < width && line[c] == ' ' {
+			line[c] = '#'
+		}
+		if _, err := fmt.Fprintf(w, "J%-5d %4dp |%s|\n", r.ID, r.Procs, line); err != nil {
+			return err
+		}
+	}
+
+	// occupancy strip: used processors sampled per column, as 0-9 deciles
+	strip := make([]byte, width)
+	for i := 0; i < width; i++ {
+		t := t0 + span*(float64(i)+0.5)/float64(width)
+		used := 0
+		for _, r := range results {
+			if r.Start <= t && t < r.End {
+				used += r.Procs
+			}
+		}
+		d := 0
+		if maxProcs > 0 {
+			d = used * 9 / maxProcs
+		}
+		if d > 9 {
+			d = 9
+		}
+		strip[i] = byte('0' + d)
+	}
+	_, err := fmt.Fprintf(w, "%s|%s|  cluster occupancy (0=idle..9=full), %.0fs span\n",
+		strings.Repeat(" ", 12), strip, span)
+	return err
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/sched"
+	"schedinspector/internal/workload"
+)
+
+func TestWriteGantt(t *testing.T) {
+	results := []metrics.JobResult{
+		{ID: 1, Submit: 0, Start: 0, End: 50, Run: 50, Procs: 4},
+		{ID: 2, Submit: 10, Start: 50, End: 100, Run: 50, Procs: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, results, 4, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 2 jobs + occupancy:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "J1") || !strings.HasPrefix(lines[1], "J2") {
+		t.Errorf("job ordering wrong:\n%s", out)
+	}
+	// Job 2 waited [10,50): its row must contain both '.' and '#'.
+	if !strings.Contains(lines[1], ".") || !strings.Contains(lines[1], "#") {
+		t.Errorf("waiting/running not rendered:\n%s", out)
+	}
+	// Job 1 never waited: no dots.
+	if strings.Contains(lines[0], ".") {
+		t.Errorf("job 1 should have no waiting cells:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "occupancy") {
+		t.Errorf("occupancy strip missing:\n%s", out)
+	}
+	// First half: 4/4 used → '9'; second half: 2/4 → '4'.
+	strip := lines[2][strings.Index(lines[2], "|")+1:]
+	strip = strip[:strings.Index(strip, "|")]
+	if strip[0] != '9' || strip[len(strip)-1] != '4' {
+		t.Errorf("occupancy deciles wrong: %q", strip)
+	}
+}
+
+func TestWriteGanttEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, nil, 4, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty schedule not reported")
+	}
+	// zero-span schedule must not divide by zero
+	buf.Reset()
+	res := []metrics.JobResult{{ID: 1, Submit: 0, Start: 0, End: 0, Procs: 1}}
+	if err := WriteGantt(&buf, res, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output for degenerate schedule")
+	}
+}
+
+func TestWriteGanttFromSimulation(t *testing.T) {
+	tr := workload.SDSCSP2Like(1000, 3)
+	jobs := tr.Window(0, 40)
+	res, err := Run(jobs, Config{MaxProcs: tr.MaxProcs, Policy: sched.SJF()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGantt(&buf, res.Results, tr.MaxProcs, 60); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 41 {
+		t.Errorf("rendered %d lines, want 41", lines)
+	}
+}

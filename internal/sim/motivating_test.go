@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/sched"
+	"schedinspector/internal/workload"
+)
+
+// These tests reproduce the paper's motivating example (Figure 1 and
+// Table 1): a 5-node cluster running SJF without backfilling, with a
+// preliminary job Jp occupying part of the cluster, comparing the base
+// scheduler against an inspector that rejects J0's first decision.
+//
+// Times use seconds with 1 figure-minute = 60 s, so the bounded-slowdown
+// 10-second threshold never engages, matching the paper's arithmetic.
+
+// rejectJobOnce returns an inspector that rejects the first decision for
+// the job with the given ID and accepts everything else.
+func rejectJobOnce(id int) Inspector {
+	return func(s *State) bool {
+		return s.Job.ID == id && s.Rejections == 0
+	}
+}
+
+// summarizeWithout computes metrics excluding the preliminary job.
+func summarizeWithout(res Result, skipID, maxProcs int) metrics.Summary {
+	var keep []metrics.JobResult
+	for _, r := range res.Results {
+		if r.ID != skipID {
+			keep = append(keep, r)
+		}
+	}
+	return metrics.Compute(keep, maxProcs)
+}
+
+func findStart(t *testing.T, res Result, id int) float64 {
+	t.Helper()
+	for _, r := range res.Results {
+		if r.ID == id {
+			return r.Start
+		}
+	}
+	t.Fatalf("job %d missing from results", id)
+	return 0
+}
+
+// Case (a): the selected shortest job has sufficient resources to run.
+//
+//	Jp: 2 nodes, 60 s, submitted at 0 (starts immediately, models the
+//	    preliminary job running before scheduling begins)
+//	J0: 3 nodes, 300 s, submitted at 0
+//	J1: 2 nodes, 300 s, submitted at 0
+//	J2: 3 nodes, 180 s, submitted at 60
+func caseAJobs() []workload.Job {
+	return []workload.Job{
+		{ID: 1, Submit: 0, Run: 60, Est: 60, Procs: 2},    // Jp
+		{ID: 2, Submit: 0, Run: 300, Est: 300, Procs: 3},  // J0
+		{ID: 3, Submit: 0, Run: 300, Est: 300, Procs: 2},  // J1
+		{ID: 4, Submit: 60, Run: 180, Est: 180, Procs: 3}, // J2
+	}
+}
+
+func TestMotivatingCaseABase(t *testing.T) {
+	res, err := Run(caseAJobs(), Config{MaxProcs: 5, Policy: sched.SJF()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected schedule: Jp@0, J0@0; at t1 J2 is picked but blocks (needs 3,
+	// only 2 free); J2@300, J1@300; sequence ends at t10 (600 s).
+	wantStarts := map[int]float64{1: 0, 2: 0, 4: 300, 3: 300}
+	for id, want := range wantStarts {
+		if got := findStart(t, res, id); got != want {
+			t.Errorf("base: job %d starts at %v, want %v", id, got, want)
+		}
+	}
+	s := summarizeWithout(res, 1, 5)
+	// Table 1 Case(a)-NoInspect: wait (0+5+4)/3 = 3 min; bsld 1.77.
+	if math.Abs(s.AvgWait-180) > 1e-9 {
+		t.Errorf("base wait = %v s, want 180 (3 min)", s.AvgWait)
+	}
+	if math.Abs(s.AvgBSLD-(1+2+7.0/3)/3) > 1e-9 {
+		t.Errorf("base bsld = %v, want 1.777", s.AvgBSLD)
+	}
+}
+
+func TestMotivatingCaseAInspected(t *testing.T) {
+	res, err := Run(caseAJobs(), Config{MaxProcs: 5, Policy: sched.SJF(), Inspector: rejectJobOnce(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: Jp@0; J0 rejected at 0; at t1 (60 s) J2 starts immediately;
+	// J0 and J1 start at t4 (240 s); sequence ends at t9 (540 s).
+	wantStarts := map[int]float64{1: 0, 4: 60, 2: 240, 3: 240}
+	for id, want := range wantStarts {
+		if got := findStart(t, res, id); got != want {
+			t.Errorf("inspected: job %d starts at %v, want %v", id, got, want)
+		}
+	}
+	if res.Rejections != 1 {
+		t.Errorf("rejections = %d, want 1", res.Rejections)
+	}
+	s := summarizeWithout(res, 1, 5)
+	// Table 1 Case(a)-Inspected: bsld (1.8+1.8+1)/3 = 1.53. (The paper's
+	// wait entry "(4+4+1)/3=3" is internally inconsistent with its own bsld
+	// row, which implies J2 waits 0; the schedule here gives (4+4+0)/3.)
+	if math.Abs(s.AvgBSLD-(1.8+1.8+1)/3) > 1e-9 {
+		t.Errorf("inspected bsld = %v, want 1.533", s.AvgBSLD)
+	}
+	if math.Abs(s.AvgWait-160) > 1e-9 {
+		t.Errorf("inspected wait = %v s, want 160", s.AvgWait)
+	}
+	// The whole sequence must finish earlier than the base run (t9 < t10).
+	var lastEnd float64
+	for _, r := range res.Results {
+		lastEnd = math.Max(lastEnd, r.End)
+	}
+	if lastEnd != 540 {
+		t.Errorf("inspected makespan end = %v, want 540 (t9)", lastEnd)
+	}
+}
+
+// Case (b): the selected shortest job cannot run immediately.
+//
+//	Jp: 3 nodes, 180 s, submitted at 0
+//	J0: 4 nodes, 300 s, submitted at 0
+//	J1: 2 nodes, 180 s, submitted at 60
+func caseBJobs() []workload.Job {
+	return []workload.Job{
+		{ID: 1, Submit: 0, Run: 180, Est: 180, Procs: 3},  // Jp
+		{ID: 2, Submit: 0, Run: 300, Est: 300, Procs: 4},  // J0
+		{ID: 3, Submit: 60, Run: 180, Est: 180, Procs: 2}, // J1
+	}
+}
+
+func TestMotivatingCaseBBase(t *testing.T) {
+	res, err := Run(caseBJobs(), Config{MaxProcs: 5, Policy: sched.SJF()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// J0 is picked at t0 and blocks until Jp completes at t3; J1 arrives at
+	// t1 but cannot run past the committed J0. J0@180, J1@480.
+	wantStarts := map[int]float64{1: 0, 2: 180, 3: 480}
+	for id, want := range wantStarts {
+		if got := findStart(t, res, id); got != want {
+			t.Errorf("base: job %d starts at %v, want %v", id, got, want)
+		}
+	}
+	s := summarizeWithout(res, 1, 5)
+	// Table 1 Case(b)-NoInspect: wait (3+7)/2 = 5 min; bsld (1.6+3.3)/2 = 2.45.
+	if math.Abs(s.AvgWait-300) > 1e-9 {
+		t.Errorf("base wait = %v s, want 300 (5 min)", s.AvgWait)
+	}
+	want := (1.6 + (420.0+180)/180) / 2 // 2.4667; paper rounds 3.33 to 3.3
+	if math.Abs(s.AvgBSLD-want) > 1e-9 {
+		t.Errorf("base bsld = %v, want %v", s.AvgBSLD, want)
+	}
+}
+
+func TestMotivatingCaseBInspected(t *testing.T) {
+	res, err := Run(caseBJobs(), Config{MaxProcs: 5, Policy: sched.SJF(), Inspector: rejectJobOnce(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// J0 rejected at t0; at t1 SJF prefers J1 (shorter), which fits the 2
+	// free nodes and starts immediately; J0 starts at t4 when J1 completes.
+	wantStarts := map[int]float64{1: 0, 3: 60, 2: 240}
+	for id, want := range wantStarts {
+		if got := findStart(t, res, id); got != want {
+			t.Errorf("inspected: job %d starts at %v, want %v", id, got, want)
+		}
+	}
+	s := summarizeWithout(res, 1, 5)
+	// Table 1 Case(b)-Inspected: wait (4+0)/2 = 2 min; bsld (1.8+1)/2 = 1.4.
+	if math.Abs(s.AvgWait-120) > 1e-9 {
+		t.Errorf("inspected wait = %v s, want 120 (2 min)", s.AvgWait)
+	}
+	if math.Abs(s.AvgBSLD-1.4) > 1e-9 {
+		t.Errorf("inspected bsld = %v, want 1.40", s.AvgBSLD)
+	}
+}
+
+// Table1 verifies the improvement directions the motivating example claims.
+func TestTable1Directions(t *testing.T) {
+	for name, jobs := range map[string][]workload.Job{"a": caseAJobs(), "b": caseBJobs()} {
+		base, err := Run(jobs, Config{MaxProcs: 5, Policy: sched.SJF()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		insp, err := Run(jobs, Config{MaxProcs: 5, Policy: sched.SJF(), Inspector: rejectJobOnce(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb := summarizeWithout(base, 1, 5)
+		si := summarizeWithout(insp, 1, 5)
+		if si.AvgBSLD >= sb.AvgBSLD {
+			t.Errorf("case %s: inspected bsld %v not better than base %v", name, si.AvgBSLD, sb.AvgBSLD)
+		}
+		if si.AvgWait > sb.AvgWait {
+			t.Errorf("case %s: inspected wait %v worse than base %v", name, si.AvgWait, sb.AvgWait)
+		}
+	}
+}

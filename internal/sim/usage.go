@@ -1,0 +1,80 @@
+package sim
+
+// Optional usage-timeline tracking: when Config.TrackUsage is set, the
+// simulator records a sample at every state change (job start, completion,
+// rejection wait), giving a step function of processor usage and queue
+// length over time. The evaluation harness uses it to analyze congestion
+// dynamics; it is off by default to keep the training loop allocation-lean.
+
+// UsagePoint is one step-function sample: the state holds from Time until
+// the next point's Time.
+type UsagePoint struct {
+	Time     float64
+	UsedProc int // processors executing jobs
+	QueueLen int // jobs waiting (including any committed head job)
+}
+
+// recordUsage appends a sample if tracking is enabled and the state
+// actually changed.
+func (s *sim) recordUsage() {
+	if !s.cfg.TrackUsage {
+		return
+	}
+	used := s.cfg.MaxProcs - s.free
+	q := len(s.queue)
+	n := len(s.out.Usage)
+	if n > 0 {
+		last := &s.out.Usage[n-1]
+		if last.UsedProc == used && last.QueueLen == q {
+			return
+		}
+		if last.Time == s.now {
+			last.UsedProc, last.QueueLen = used, q
+			return
+		}
+	}
+	s.out.Usage = append(s.out.Usage, UsagePoint{Time: s.now, UsedProc: used, QueueLen: q})
+}
+
+// TimeWeightedUtil integrates the usage timeline into a mean utilization in
+// [0,1] over [first sample, horizon]. It returns 0 when tracking was off.
+func (r Result) TimeWeightedUtil(maxProcs int, horizon float64) float64 {
+	area := integrateUsage(r.Usage, horizon, func(p UsagePoint) float64 { return float64(p.UsedProc) })
+	if area == 0 || maxProcs <= 0 {
+		return 0
+	}
+	span := horizon - r.Usage[0].Time
+	if span <= 0 {
+		return 0
+	}
+	return area / (span * float64(maxProcs))
+}
+
+// TimeWeightedQueueLen integrates the mean number of waiting jobs over
+// [first sample, horizon]. It returns 0 when tracking was off.
+func (r Result) TimeWeightedQueueLen(horizon float64) float64 {
+	area := integrateUsage(r.Usage, horizon, func(p UsagePoint) float64 { return float64(p.QueueLen) })
+	if len(r.Usage) == 0 {
+		return 0
+	}
+	span := horizon - r.Usage[0].Time
+	if span <= 0 {
+		return 0
+	}
+	return area / span
+}
+
+// integrateUsage integrates f over the step function up to horizon.
+func integrateUsage(usage []UsagePoint, horizon float64, f func(UsagePoint) float64) float64 {
+	var area float64
+	for i, p := range usage {
+		end := horizon
+		if i+1 < len(usage) && usage[i+1].Time < horizon {
+			end = usage[i+1].Time
+		}
+		if end > p.Time {
+			area += f(p) * (end - p.Time)
+		}
+	}
+	return area
+}

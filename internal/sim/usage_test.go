@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"schedinspector/internal/sched"
+	"schedinspector/internal/workload"
+)
+
+func TestUsageTimeline(t *testing.T) {
+	jobs := []workload.Job{
+		{ID: 1, Submit: 0, Run: 100, Est: 100, Procs: 4},
+		{ID: 2, Submit: 0, Run: 50, Est: 50, Procs: 4},
+	}
+	res, err := Run(jobs, Config{MaxProcs: 4, Policy: sched.FCFS(), TrackUsage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Usage) == 0 {
+		t.Fatal("no usage samples recorded")
+	}
+	// Timeline: [0,100) 4 used + 1 queued; [100,150) 4 used 0 queued;
+	// horizon 150 → util = (4*150)/(4*150) = 1.
+	if got := res.TimeWeightedUtil(4, 150); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("time-weighted util = %v, want 1.0", got)
+	}
+	// queue length: 1 for [0,100), 0 after → 100/150
+	if got := res.TimeWeightedQueueLen(150); math.Abs(got-100.0/150) > 1e-9 {
+		t.Errorf("time-weighted queue = %v, want %v", got, 100.0/150)
+	}
+	// monotone, deduplicated samples
+	for i := 1; i < len(res.Usage); i++ {
+		if res.Usage[i].Time < res.Usage[i-1].Time {
+			t.Fatal("usage samples out of order")
+		}
+		if res.Usage[i] == res.Usage[i-1] {
+			t.Fatal("duplicate usage sample")
+		}
+	}
+}
+
+func TestUsageTrackingOffByDefault(t *testing.T) {
+	jobs := []workload.Job{{ID: 1, Submit: 0, Run: 10, Est: 10, Procs: 1}}
+	res, err := Run(jobs, Config{MaxProcs: 4, Policy: sched.FCFS()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Usage != nil {
+		t.Error("usage recorded without TrackUsage")
+	}
+	if res.TimeWeightedUtil(4, 100) != 0 || res.TimeWeightedQueueLen(100) != 0 {
+		t.Error("aggregations over empty timeline should be 0")
+	}
+}
+
+func TestUsageWithRejections(t *testing.T) {
+	// One job rejected twice with a 100 s interval: the cluster idles for
+	// 200 s, visible in the time-weighted utilization.
+	jobs := []workload.Job{{ID: 1, Submit: 0, Run: 100, Est: 100, Procs: 4}}
+	res, err := Run(jobs, Config{
+		MaxProcs: 4, Policy: sched.FCFS(), MaxInterval: 100, TrackUsage: true,
+		Inspector: func(s *State) bool { return s.Rejections < 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// job runs [200, 300); util over [0,300) = 100/300
+	if got := res.TimeWeightedUtil(4, 300); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("util with rejections = %v, want 1/3", got)
+	}
+}

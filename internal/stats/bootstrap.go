@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Paired-comparison statistics for evaluation results: the paper reports
+// mean improvements over 50 paired sequences; these helpers quantify how
+// solid such a comparison is.
+
+// PairedDelta summarizes base[i] - insp[i] over paired observations:
+// positive deltas mean the inspected run improved a minimized metric.
+type PairedDelta struct {
+	N          int
+	MeanDelta  float64
+	Wins       int // insp strictly better (delta > 0)
+	Losses     int // insp strictly worse
+	Ties       int
+	CILow      float64 // bootstrap confidence interval on the mean delta
+	CIHigh     float64
+	SignPValue float64 // two-sided sign-test p-value on wins vs losses
+}
+
+// ComparePaired computes the paired summary with a percentile bootstrap of
+// the mean delta at the given confidence (e.g. 0.95) using resamples drawn
+// from rng. base and insp must have equal length.
+func ComparePaired(base, insp []float64, confidence float64, resamples int, rng *rand.Rand) PairedDelta {
+	n := min(len(base), len(insp))
+	out := PairedDelta{N: n, SignPValue: 1}
+	if n == 0 {
+		return out
+	}
+	deltas := make([]float64, n)
+	for i := 0; i < n; i++ {
+		deltas[i] = base[i] - insp[i]
+		out.MeanDelta += deltas[i] / float64(n)
+		switch {
+		case deltas[i] > 0:
+			out.Wins++
+		case deltas[i] < 0:
+			out.Losses++
+		default:
+			out.Ties++
+		}
+	}
+	out.SignPValue = signTest(out.Wins, out.Losses)
+
+	if resamples <= 0 {
+		resamples = 2000
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	means := make([]float64, resamples)
+	for r := 0; r < resamples; r++ {
+		var m float64
+		for i := 0; i < n; i++ {
+			m += deltas[rng.Intn(n)]
+		}
+		means[r] = m / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	out.CILow = means[int(alpha*float64(resamples))]
+	hi := int((1 - alpha) * float64(resamples))
+	if hi >= resamples {
+		hi = resamples - 1
+	}
+	out.CIHigh = means[hi]
+	return out
+}
+
+// signTest returns the two-sided binomial sign-test p-value for wins vs
+// losses (ties excluded), i.e. the probability of a split at least this
+// extreme under a fair coin.
+func signTest(wins, losses int) float64 {
+	n := wins + losses
+	if n == 0 {
+		return 1
+	}
+	k := wins
+	if losses < wins {
+		k = losses
+	}
+	// P(X <= k) for X ~ Binomial(n, 0.5), doubled and capped at 1.
+	var p float64
+	for i := 0; i <= k; i++ {
+		p += math.Exp(logChoose(n, i) - float64(n)*math.Ln2)
+	}
+	p *= 2
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// logChoose returns log(n choose k) via log-gamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

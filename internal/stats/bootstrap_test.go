@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestComparePairedBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := []float64{10, 12, 9, 11, 10, 13, 12, 10}
+	insp := []float64{8, 9, 8, 9, 9, 10, 9, 8} // uniformly better by ~2
+	d := ComparePaired(base, insp, 0.95, 2000, rng)
+	if d.N != 8 || d.Wins != 8 || d.Losses != 0 || d.Ties != 0 {
+		t.Fatalf("counts wrong: %+v", d)
+	}
+	if d.MeanDelta <= 0 {
+		t.Errorf("mean delta %v, want positive", d.MeanDelta)
+	}
+	if d.CILow > d.MeanDelta || d.CIHigh < d.MeanDelta {
+		t.Errorf("CI [%v,%v] excludes mean %v", d.CILow, d.CIHigh, d.MeanDelta)
+	}
+	if d.CILow <= 0 {
+		t.Errorf("uniformly-better comparison should have CI above 0: [%v,%v]", d.CILow, d.CIHigh)
+	}
+	// 8-0 sign test: p = 2 * (1/2)^8 = 1/128
+	if math.Abs(d.SignPValue-2.0/256) > 1e-9 {
+		t.Errorf("sign p-value %v, want %v", d.SignPValue, 2.0/256)
+	}
+}
+
+func TestComparePairedNullCase(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 100
+	base := make([]float64, n)
+	insp := make([]float64, n)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+		insp[i] = rng.NormFloat64()
+	}
+	d := ComparePaired(base, insp, 0.95, 2000, rng)
+	if d.SignPValue < 0.01 {
+		t.Errorf("null comparison significant: p = %v", d.SignPValue)
+	}
+	if d.CILow > 0 || d.CIHigh < 0 {
+		t.Errorf("null CI [%v,%v] excludes 0", d.CILow, d.CIHigh)
+	}
+}
+
+func TestComparePairedEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := ComparePaired(nil, nil, 0.95, 100, rng)
+	if d.N != 0 || d.SignPValue != 1 {
+		t.Errorf("empty comparison: %+v", d)
+	}
+	// all ties
+	xs := []float64{5, 5, 5}
+	d = ComparePaired(xs, xs, 0.95, 100, rng)
+	if d.Ties != 3 || d.SignPValue != 1 || d.MeanDelta != 0 {
+		t.Errorf("tie comparison: %+v", d)
+	}
+	// defaulted confidence/resamples
+	d = ComparePaired([]float64{2, 3}, []float64{1, 1}, 0, 0, rng)
+	if d.N != 2 || d.Wins != 2 {
+		t.Errorf("defaults: %+v", d)
+	}
+}
+
+func TestSignTestSymmetry(t *testing.T) {
+	if signTest(3, 7) != signTest(7, 3) {
+		t.Error("sign test not symmetric")
+	}
+	if p := signTest(5, 5); p < 0.99 {
+		t.Errorf("even split p = %v, want ~1", p)
+	}
+	if p := signTest(50, 0); p > 1e-10 {
+		t.Errorf("50-0 split p = %v, want ~0", p)
+	}
+	if signTest(0, 0) != 1 {
+		t.Error("no data p != 1")
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	// C(10,3) = 120
+	if got := math.Exp(logChoose(10, 3)); math.Abs(got-120) > 1e-6 {
+		t.Errorf("C(10,3) = %v", got)
+	}
+	if !math.IsInf(logChoose(5, 9), -1) || !math.IsInf(logChoose(5, -1), -1) {
+		t.Error("out-of-range choose not -Inf")
+	}
+}

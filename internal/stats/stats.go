@@ -1,0 +1,211 @@
+// Package stats provides the small descriptive-statistics toolkit used by
+// the evaluation harness: streaming moments, percentiles, box-and-whisker
+// summaries, and empirical CDFs (for the §5 "what SchedInspector learns"
+// analysis).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance in a single streaming pass.
+type Welford struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (0 if fewer than two observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (0 if empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 if empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the sample standard deviation of xs.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics. It does not modify xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Box is a five-number box-and-whisker summary plus the mean, matching the
+// box plots in Figures 8, 10 and 12 of the paper.
+type Box struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// Summarize computes the box summary of xs.
+func Summarize(xs []float64) Box {
+	if len(xs) == 0 {
+		return Box{}
+	}
+	return Box{
+		Min:    Percentile(xs, 0),
+		Q1:     Percentile(xs, 25),
+		Median: Percentile(xs, 50),
+		Q3:     Percentile(xs, 75),
+		Max:    Percentile(xs, 100),
+		Mean:   Mean(xs),
+		N:      len(xs),
+	}
+}
+
+// String renders the box compactly for report tables.
+func (b Box) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f [min=%.2f q1=%.2f med=%.2f q3=%.2f max=%.2f]",
+		b.N, b.Mean, b.Min, b.Q1, b.Median, b.Q3, b.Max)
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	xs []float64 // sorted
+}
+
+// NewCDF builds an empirical CDF from observations (copied and sorted).
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{xs: s}
+}
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.xs))
+}
+
+// Quantile returns the q-th quantile (0..1).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	return Percentile(c.xs, q*100)
+}
+
+// N returns the number of observations in the CDF.
+func (c *CDF) N() int { return len(c.xs) }
+
+// Curve samples the CDF at n evenly spaced points across [min, max] and
+// returns (x, F(x)) pairs — the format the Figure 13 reproduction prints.
+func (c *CDF) Curve(n int) (xs, fs []float64) {
+	if len(c.xs) == 0 || n < 2 {
+		return nil, nil
+	}
+	lo, hi := c.xs[0], c.xs[len(c.xs)-1]
+	xs = make([]float64, n)
+	fs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		xs[i] = x
+		fs[i] = c.At(x)
+	}
+	return xs, fs
+}
+
+// Normalize maps xs into [0,1] by min-max scaling, returning a new slice.
+// Used to put features on the common x-axis of Figure 13.
+func Normalize(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	out := make([]float64, len(xs))
+	if hi == lo {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - lo) / (hi - lo)
+	}
+	return out
+}

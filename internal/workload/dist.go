@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampling helpers for the synthetic workload models. All samplers take an
+// explicit *rand.Rand so trace generation is deterministic per seed.
+
+// sampleExp draws from an exponential distribution with the given mean.
+func sampleExp(rng *rand.Rand, mean float64) float64 {
+	return rng.ExpFloat64() * mean
+}
+
+// sampleGamma draws from Gamma(shape, scale) using the Marsaglia-Tsang
+// method, with Johnk-style boosting for shape < 1.
+func sampleGamma(rng *rand.Rand, shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return sampleGamma(rng, shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// sampleLogNormal draws from a log-normal with the given log-mean mu and
+// log-stddev sigma.
+func sampleLogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*rng.NormFloat64())
+}
+
+// logNormalMu returns the mu that makes a log-normal with log-stddev sigma
+// have the requested arithmetic mean: mean = exp(mu + sigma^2/2).
+func logNormalMu(mean, sigma float64) float64 {
+	return math.Log(mean) - sigma*sigma/2
+}
+
+// pow2Dist is a discrete distribution over processor counts
+// {1, 2, 4, ..., 2^k <= maxProcs} with geometric weights w_i = q^i,
+// calibrated so the distribution mean hits a target. Parallel workloads are
+// strongly biased toward power-of-two allocations, so this is the standard
+// shape for synthetic size models.
+type pow2Dist struct {
+	sizes []int
+	cum   []float64 // cumulative probabilities
+	mean  float64
+}
+
+// newPow2Dist builds the distribution and calibrates q by bisection so that
+// the mean processor count is targetMean (clamped to the feasible range).
+func newPow2Dist(maxProcs int, targetMean float64) *pow2Dist {
+	var sizes []int
+	for s := 1; s <= maxProcs; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	meanFor := func(q float64) float64 {
+		var wsum, m float64
+		w := 1.0
+		for _, s := range sizes {
+			wsum += w
+			m += w * float64(s)
+			w *= q
+		}
+		return m / wsum
+	}
+	lo, hi := 1e-6, 1.0
+	// meanFor is increasing in q; clamp the target into range.
+	if targetMean <= meanFor(lo) {
+		targetMean = meanFor(lo)
+	}
+	if targetMean >= meanFor(hi) {
+		targetMean = meanFor(hi)
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if meanFor(mid) < targetMean {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	q := (lo + hi) / 2
+	d := &pow2Dist{sizes: sizes}
+	var wsum float64
+	w := 1.0
+	weights := make([]float64, len(sizes))
+	for i := range sizes {
+		weights[i] = w
+		wsum += w
+		w *= q
+	}
+	d.cum = make([]float64, len(sizes))
+	acc := 0.0
+	for i, wt := range weights {
+		acc += wt / wsum
+		d.cum[i] = acc
+		d.mean += wt / wsum * float64(sizes[i])
+	}
+	return d
+}
+
+// quantile returns the processor count at cumulative probability u in
+// [0,1), used by the rank-coupling that correlates job size with runtime.
+func (d *pow2Dist) quantile(u float64) int {
+	for i, c := range d.cum {
+		if u <= c {
+			return d.sizes[i]
+		}
+	}
+	return d.sizes[len(d.sizes)-1]
+}
+
+// invNormalCDF approximates the standard normal quantile function using
+// Acklam's rational approximation (relative error below 1.15e-9), enough
+// for workload generation.
+func invNormalCDF(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > pHigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// sample draws a processor count. With probability perturb, the power of two
+// is nudged to a nearby non-power-of-two value, which keeps the simulator's
+// packing realistic (real logs are not purely powers of two).
+func (d *pow2Dist) sample(rng *rand.Rand, maxProcs int, perturb float64) int {
+	u := rng.Float64()
+	idx := len(d.sizes) - 1
+	for i, c := range d.cum {
+		if u <= c {
+			idx = i
+			break
+		}
+	}
+	n := d.sizes[idx]
+	if n > 2 && rng.Float64() < perturb {
+		// nudge down by up to 25% so the mean calibration is barely moved
+		n -= rng.Intn(n / 4)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxProcs {
+		n = maxProcs
+	}
+	return n
+}

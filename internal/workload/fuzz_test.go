@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSWF checks that the SWF parser never panics and that any trace
+// it accepts satisfies the package invariants (sorted, positive fields).
+// Seeds cover headers, cancelled jobs, missing fields and junk. Run with
+// `go test -fuzz FuzzParseSWF ./internal/workload` for exploratory fuzzing;
+// the seeds execute as part of the normal test suite.
+func FuzzParseSWF(f *testing.F) {
+	f.Add("; MaxProcs: 64\n1 0 -1 100 4 -1 -1 4 200 -1 1 3 1 -1 2 1 -1 -1\n")
+	f.Add("1 10 -1 -1 -1 -1 -1 -1 -1 -1 0 1 1 -1 1 1 -1 -1\n")
+	f.Add("; only a comment\n")
+	f.Add("garbage line\n")
+	f.Add("2 5 -1 50 2 -1 -1 -1 100 -1 1 5 1 -1 1 1 -1 -1\n1 0 -1 9 1 -1 -1 1 9 -1 1 1 1 -1 1 1 -1 -1\n")
+	f.Add("1 0 -1 1e300 1 -1 -1 1 1e300 -1 1 1 1 -1 1 1 -1 -1\n")
+	f.Add(strings.Repeat("1 0 -1 1 1 -1 -1 1 1 -1 1 1 1 -1 1 1 -1 -1\n", 5))
+	f.Fuzz(func(t *testing.T, data string) {
+		tr, err := ParseSWF(strings.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		prev := -1.0
+		for _, j := range tr.Jobs {
+			if j.Procs <= 0 || j.Est <= 0 || j.Run < 0 {
+				t.Fatalf("parser accepted invalid job %+v", j)
+			}
+			if j.Submit < prev {
+				t.Fatal("parser output not sorted")
+			}
+			prev = j.Submit
+		}
+		// Round-trip: whatever parses must serialize and re-parse.
+		var buf bytes.Buffer
+		if err := WriteSWF(&buf, tr); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		if _, err := ParseSWF(&buf, "fuzz2"); err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+// Package workload defines batch jobs and job traces, parses and writes the
+// Standard Workload Format (SWF) used by the Parallel Workloads Archive, and
+// generates synthetic traces calibrated to the statistics of the logs the
+// SchedInspector paper evaluates on (SDSC-SP2, CTC-SP2, HPC2N) as well as a
+// Lublin-Feitelson model trace.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Job is one batch job. Times are in seconds relative to the trace start.
+//
+// Two runtimes are tracked, mirroring §3.2 of the paper: Run is the actual
+// execution time and decides when the job finishes in the simulator; Est is
+// the user-estimated (requested) runtime and is the only runtime visible to
+// schedulers and to the inspector.
+type Job struct {
+	ID     int     // 1-based job number within the trace
+	Submit float64 // arrival time, seconds since trace start
+	Run    float64 // actual runtime, seconds
+	Est    float64 // user-estimated runtime, seconds (Est >= Run is typical, not required)
+	Procs  int     // requested processors
+
+	// Optional accounting attributes, used by the Slurm multifactor policy.
+	User      int
+	Group     int
+	Queue     int
+	Partition int
+}
+
+// Area returns the estimated resource area est_j * res_j used by the SAF policy.
+func (j Job) Area() float64 { return j.Est * float64(j.Procs) }
+
+// Ratio returns the estimated ratio est_j / res_j used by the SRF policy.
+func (j Job) Ratio() float64 { return j.Est / float64(max(1, j.Procs)) }
+
+// Validate reports whether the job is well formed for simulation.
+func (j Job) Validate(maxProcs int) error {
+	switch {
+	case j.Procs <= 0:
+		return fmt.Errorf("job %d: nonpositive procs %d", j.ID, j.Procs)
+	case maxProcs > 0 && j.Procs > maxProcs:
+		return fmt.Errorf("job %d: procs %d exceeds cluster size %d", j.ID, j.Procs, maxProcs)
+	case j.Run < 0 || math.IsNaN(j.Run) || math.IsInf(j.Run, 0):
+		return fmt.Errorf("job %d: bad runtime %v", j.ID, j.Run)
+	case j.Est <= 0 || math.IsNaN(j.Est) || math.IsInf(j.Est, 0):
+		return fmt.Errorf("job %d: bad estimated runtime %v", j.ID, j.Est)
+	case j.Submit < 0 || math.IsNaN(j.Submit) || math.IsInf(j.Submit, 0):
+		return fmt.Errorf("job %d: bad submit time %v", j.ID, j.Submit)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package workload
+
+import "fmt"
+
+// Trace transformation utilities: real evaluation workflows routinely slice
+// logs, rescale their load, or splice workloads together; these helpers do
+// so without disturbing the fields the simulator depends on.
+
+// Head returns a new trace containing the first n jobs (all of them if the
+// trace is shorter), re-based to submit at time 0.
+func (t *Trace) Head(n int) *Trace {
+	if n > len(t.Jobs) {
+		n = len(t.Jobs)
+	}
+	out := &Trace{Name: t.Name, MaxProcs: t.MaxProcs}
+	if n > 0 {
+		out.Jobs = t.Window(0, n)
+	}
+	return out
+}
+
+// Tail returns a new trace containing the last n jobs, re-based to submit
+// at time 0.
+func (t *Trace) Tail(n int) *Trace {
+	if n > len(t.Jobs) {
+		n = len(t.Jobs)
+	}
+	out := &Trace{Name: t.Name, MaxProcs: t.MaxProcs}
+	if n > 0 {
+		out.Jobs = t.Window(len(t.Jobs)-n, n)
+	}
+	return out
+}
+
+// ScaleInterval multiplies every interarrival gap by f (f < 1 compresses
+// the trace, raising its offered load by 1/f), returning a new trace.
+// It panics on nonpositive f.
+func (t *Trace) ScaleInterval(f float64) *Trace {
+	if f <= 0 {
+		panic(fmt.Sprintf("workload: ScaleInterval factor %v must be positive", f))
+	}
+	out := t.Clone()
+	if len(out.Jobs) == 0 {
+		return out
+	}
+	base := out.Jobs[0].Submit
+	for i := range out.Jobs {
+		out.Jobs[i].Submit = base + (out.Jobs[i].Submit-base)*f
+	}
+	return out
+}
+
+// Concat appends other's jobs after t's last arrival plus gap seconds,
+// renumbering IDs sequentially. Both traces must target clusters of the
+// same size.
+func Concat(t, other *Trace, gap float64) (*Trace, error) {
+	if t.MaxProcs != other.MaxProcs {
+		return nil, fmt.Errorf("workload: cannot concat traces with cluster sizes %d and %d",
+			t.MaxProcs, other.MaxProcs)
+	}
+	out := t.Clone()
+	offset := gap
+	if n := len(out.Jobs); n > 0 {
+		offset += out.Jobs[n-1].Submit
+	}
+	if len(other.Jobs) > 0 {
+		base := other.Jobs[0].Submit
+		for _, j := range other.Jobs {
+			j.Submit = j.Submit - base + offset
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	for i := range out.Jobs {
+		out.Jobs[i].ID = i + 1
+	}
+	out.Name = t.Name + "+" + other.Name
+	return out, nil
+}
+
+// FilterProcs returns a new trace keeping only jobs with Procs in
+// [minProcs, maxProcs], re-based to submit at time 0 and renumbered.
+func (t *Trace) FilterProcs(minProcs, maxProcs int) *Trace {
+	out := &Trace{Name: t.Name, MaxProcs: t.MaxProcs}
+	for _, j := range t.Jobs {
+		if j.Procs >= minProcs && j.Procs <= maxProcs {
+			out.Jobs = append(out.Jobs, j)
+		}
+	}
+	if len(out.Jobs) > 0 {
+		base := out.Jobs[0].Submit
+		for i := range out.Jobs {
+			out.Jobs[i].Submit -= base
+			out.Jobs[i].ID = i + 1
+		}
+	}
+	return out
+}

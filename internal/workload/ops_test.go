@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math"
+	"os"
+	"testing"
+)
+
+func opsTrace() *Trace {
+	return &Trace{Name: "t", MaxProcs: 16, Jobs: []Job{
+		{ID: 1, Submit: 100, Run: 10, Est: 20, Procs: 1},
+		{ID: 2, Submit: 200, Run: 10, Est: 20, Procs: 4},
+		{ID: 3, Submit: 400, Run: 10, Est: 20, Procs: 8},
+		{ID: 4, Submit: 700, Run: 10, Est: 20, Procs: 2},
+	}}
+}
+
+func TestHeadTail(t *testing.T) {
+	tr := opsTrace()
+	h := tr.Head(2)
+	if h.Len() != 2 || h.Jobs[0].Submit != 0 || h.Jobs[1].Submit != 100 {
+		t.Errorf("Head wrong: %+v", h.Jobs)
+	}
+	if h.Jobs[0].ID != 1 {
+		t.Errorf("Head should keep IDs: %d", h.Jobs[0].ID)
+	}
+	tl := tr.Tail(2)
+	if tl.Len() != 2 || tl.Jobs[0].Submit != 0 || tl.Jobs[1].Submit != 300 {
+		t.Errorf("Tail wrong: %+v", tl.Jobs)
+	}
+	// oversize requests clamp
+	if tr.Head(99).Len() != 4 || tr.Tail(99).Len() != 4 {
+		t.Error("oversize Head/Tail did not clamp")
+	}
+	if (&Trace{}).Head(3).Len() != 0 {
+		t.Error("empty Head broken")
+	}
+	// original untouched
+	if tr.Jobs[0].Submit != 100 {
+		t.Error("Head mutated source")
+	}
+}
+
+func TestScaleInterval(t *testing.T) {
+	tr := opsTrace()
+	half := tr.ScaleInterval(0.5)
+	// gaps 100,200,300 become 50,100,150 from base 100
+	wants := []float64{100, 150, 250, 400}
+	for i, w := range wants {
+		if math.Abs(half.Jobs[i].Submit-w) > 1e-9 {
+			t.Errorf("job %d submit %v, want %v", i, half.Jobs[i].Submit, w)
+		}
+	}
+	if tr.Jobs[1].Submit != 200 {
+		t.Error("ScaleInterval mutated source")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nonpositive factor did not panic")
+		}
+	}()
+	tr.ScaleInterval(0)
+}
+
+func TestConcat(t *testing.T) {
+	a := opsTrace()
+	b := opsTrace()
+	out, err := Concat(a, b, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 8 {
+		t.Fatalf("concat len %d", out.Len())
+	}
+	// second trace starts at last submit (700) + 1000
+	if out.Jobs[4].Submit != 1700 {
+		t.Errorf("spliced submit %v, want 1700", out.Jobs[4].Submit)
+	}
+	for i, j := range out.Jobs {
+		if j.ID != i+1 {
+			t.Fatalf("IDs not renumbered at %d: %d", i, j.ID)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// mismatched clusters rejected
+	c := opsTrace()
+	c.MaxProcs = 8
+	if _, err := Concat(a, c, 0); err == nil {
+		t.Error("cluster mismatch accepted")
+	}
+}
+
+func TestFilterProcs(t *testing.T) {
+	tr := opsTrace()
+	f := tr.FilterProcs(2, 4)
+	if f.Len() != 2 {
+		t.Fatalf("filtered %d jobs, want 2", f.Len())
+	}
+	if f.Jobs[0].Procs != 4 || f.Jobs[1].Procs != 2 {
+		t.Errorf("wrong jobs kept: %+v", f.Jobs)
+	}
+	if f.Jobs[0].Submit != 0 || f.Jobs[0].ID != 1 {
+		t.Error("filtered trace not rebased/renumbered")
+	}
+	if tr.FilterProcs(99, 100).Len() != 0 {
+		t.Error("empty filter broken")
+	}
+}
+
+func TestScaleIntervalChangesLoad(t *testing.T) {
+	tr := SDSCSP2Like(2000, 3)
+	compressed := tr.ScaleInterval(0.5)
+	if got, want := OfferedLoad(compressed), 2*OfferedLoad(tr); math.Abs(got-want)/want > 0.01 {
+		t.Errorf("compressed load %v, want ~%v", got, want)
+	}
+}
+
+func TestSWFFileGzipRoundTrip(t *testing.T) {
+	tr := SDSCSP2Like(200, 4)
+	dir := t.TempDir()
+	for _, name := range []string{"plain.swf", "zipped.swf.gz"} {
+		path := dir + "/" + name
+		if err := WriteSWFFile(path, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseSWFFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != tr.Len() || got.MaxProcs != tr.MaxProcs {
+			t.Fatalf("%s: %d jobs procs %d", name, got.Len(), got.MaxProcs)
+		}
+	}
+	if _, err := ParseSWFFile(dir + "/missing.swf"); err == nil {
+		t.Error("missing file accepted")
+	}
+	// corrupt gz
+	if err := WriteSWFFile(dir+"/bad.gz", tr); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := ParseSWFFile(dir + "/plain.swf")
+	_ = raw
+	if err := os.WriteFile(dir+"/bad.gz", []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSWFFile(dir + "/bad.gz"); err == nil {
+		t.Error("corrupt gzip accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import "math"
+
+// Stats summarizes a trace the way Table 2 of the paper does, plus a few
+// extra aggregates that the calibration tests rely on.
+type Stats struct {
+	Jobs          int
+	MaxProcs      int     // cluster size
+	MeanInterval  float64 // mean job arrival interval, seconds
+	MeanEst       float64 // mean estimated runtime, seconds
+	MeanRun       float64 // mean actual runtime, seconds
+	MeanProcs     float64 // mean requested processors
+	MaxEst        float64
+	MaxJobProcs   int
+	TotalSpan     float64 // last submit - first submit
+	MeanArea      float64 // mean est*procs
+	EstOverRunAvg float64 // mean est/run over jobs with run > 0
+}
+
+// ComputeStats computes summary statistics over the full trace.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{Jobs: len(t.Jobs), MaxProcs: t.MaxProcs}
+	if len(t.Jobs) == 0 {
+		return s
+	}
+	var sumEst, sumRun, sumProcs, sumArea, sumRatio float64
+	nRatio := 0
+	for _, j := range t.Jobs {
+		sumEst += j.Est
+		sumRun += j.Run
+		sumProcs += float64(j.Procs)
+		sumArea += j.Area()
+		if j.Run > 0 {
+			sumRatio += j.Est / j.Run
+			nRatio++
+		}
+		if j.Est > s.MaxEst {
+			s.MaxEst = j.Est
+		}
+		if j.Procs > s.MaxJobProcs {
+			s.MaxJobProcs = j.Procs
+		}
+	}
+	n := float64(len(t.Jobs))
+	s.MeanEst = sumEst / n
+	s.MeanRun = sumRun / n
+	s.MeanProcs = sumProcs / n
+	s.MeanArea = sumArea / n
+	if nRatio > 0 {
+		s.EstOverRunAvg = sumRatio / float64(nRatio)
+	}
+	s.TotalSpan = t.Jobs[len(t.Jobs)-1].Submit - t.Jobs[0].Submit
+	if len(t.Jobs) > 1 {
+		s.MeanInterval = s.TotalSpan / float64(len(t.Jobs)-1)
+	}
+	return s
+}
+
+// OfferedLoad estimates the offered utilization of the trace: the total
+// actual core-seconds divided by cluster capacity over the trace span.
+// Values near or above 1 indicate a saturated system.
+func OfferedLoad(t *Trace) float64 {
+	if len(t.Jobs) < 2 || t.MaxProcs <= 0 {
+		return 0
+	}
+	var work float64
+	for _, j := range t.Jobs {
+		work += j.Run * float64(j.Procs)
+	}
+	span := t.Jobs[len(t.Jobs)-1].Submit - t.Jobs[0].Submit
+	if span <= 0 {
+		return math.Inf(1)
+	}
+	return work / (span * float64(t.MaxProcs))
+}

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"compress/gzip"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ParseSWFFile reads a Standard Workload Format trace from disk. Files
+// ending in ".gz" are transparently decompressed — the Parallel Workloads
+// Archive distributes its logs gzipped, so this accepts them as downloaded.
+func ParseSWFFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), ".gz")
+	name = strings.TrimSuffix(name, ".swf")
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", path, err)
+		}
+		defer gz.Close()
+		return ParseSWF(gz, name)
+	}
+	return ParseSWF(f, name)
+}
+
+// WriteSWFFile writes the trace to disk, gzipping when the path ends in
+// ".gz".
+func WriteSWFFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		if err := WriteSWF(gz, t); err != nil {
+			return err
+		}
+		if err := gz.Close(); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+	} else if err := WriteSWF(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
