@@ -1,0 +1,35 @@
+# Build/verify entry points. `make verify` is the pre-commit gate: build,
+# vet, formatting, the full test suite, and a -race pass over the packages
+# with lock-free hot paths (the obs registry and the instrumented server),
+# which is exactly where data races would hide.
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test test-short race bench verify
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints offending files; fail if it prints anything.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/obs/ ./internal/serve/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+verify: build vet fmt-check race test

@@ -18,6 +18,7 @@ import (
 	"schedinspector/internal/expt"
 	"schedinspector/internal/metrics"
 	"schedinspector/internal/nn"
+	"schedinspector/internal/obs"
 	"schedinspector/internal/rl"
 	"schedinspector/internal/sched"
 	"schedinspector/internal/sim"
@@ -113,6 +114,36 @@ func BenchmarkSimulator(b *testing.B) {
 	tr := workload.SDSCSP2Like(4000, 7)
 	jobs := tr.Window(100, 256)
 	cfg := sim.Config{MaxProcs: tr.MaxProcs, Policy: sched.SJF()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(jobs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorNilTracer is BenchmarkSimulator with the Tracer field
+// explicitly nil: the guard for the tracing fast path. Disabled tracing is
+// one nil check per event site, so this must stay within noise of
+// BenchmarkSimulator.
+func BenchmarkSimulatorNilTracer(b *testing.B) {
+	tr := workload.SDSCSP2Like(4000, 7)
+	jobs := tr.Window(100, 256)
+	cfg := sim.Config{MaxProcs: tr.MaxProcs, Policy: sched.SJF(), Tracer: nil}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(jobs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorTraced measures the enabled-tracing cost: the same
+// sequence recording every event into the bounded ring (no sink).
+func BenchmarkSimulatorTraced(b *testing.B) {
+	tr := workload.SDSCSP2Like(4000, 7)
+	jobs := tr.Window(100, 256)
+	cfg := sim.Config{MaxProcs: tr.MaxProcs, Policy: sched.SJF(), Tracer: obs.NewTracer(0)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(jobs, cfg); err != nil {

@@ -6,11 +6,13 @@ package cmd_test
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -73,12 +75,32 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("stats output unexpected:\n%s", out)
 	}
 
-	// train a tiny model on the SWF trace.
+	// train a tiny model on the SWF trace, with telemetry.
+	telemetry := filepath.Join(work, "telemetry.csv")
 	out = run(t, filepath.Join(bins, "schedinspect"), "train",
 		"-swf", swf, "-policy", "SJF", "-metric", "bsld",
-		"-epochs", "2", "-batch", "4", "-seqlen", "64", "-model", model)
+		"-epochs", "2", "-batch", "4", "-seqlen", "64", "-model", model,
+		"-telemetry", telemetry)
 	if !strings.Contains(out, "model saved") {
 		t.Fatalf("train did not save:\n%s", out)
+	}
+	tele, err := os.ReadFile(telemetry)
+	if err != nil {
+		t.Fatalf("telemetry file: %v", err)
+	}
+	if head := strings.SplitN(string(tele), "\n", 2)[0]; !strings.Contains(head, "entropy") ||
+		!strings.Contains(head, "approx_kl") || !strings.Contains(head, "mean_reward") ||
+		!strings.Contains(head, "policy_loss") {
+		t.Fatalf("telemetry header missing columns: %q", head)
+	}
+	if lines := strings.Count(strings.TrimSpace(string(tele)), "\n"); lines != 2 {
+		t.Fatalf("telemetry rows %d, want 2 epochs + header:\n%s", lines, tele)
+	}
+
+	// expreport plots learning curves from the telemetry file.
+	out = run(t, filepath.Join(bins, "expreport"), "-curves", telemetry)
+	if !strings.Contains(out, "mean_reward") || !strings.Contains(out, "2 epochs") {
+		t.Fatalf("expreport -curves unexpected:\n%s", out)
 	}
 
 	// evaluate the model.
@@ -106,14 +128,17 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("expreport table1 unexpected:\n%s", out)
 	}
 
-	// inspectord: serve the trained model and query it.
-	srv := exec.Command(filepath.Join(bins, "inspectord"), "-model", model, "-addr", "127.0.0.1:18642")
+	// inspectord: serve the trained model and query it. -seed is explicit
+	// here; the effective seed is also logged at startup either way.
+	var srvLog bytes.Buffer
+	srv := exec.Command(filepath.Join(bins, "inspectord"),
+		"-model", model, "-addr", "127.0.0.1:18642", "-seed", "7")
+	srv.Stderr = &srvLog
 	if err := srv.Start(); err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Process.Kill()
 	var resp *http.Response
-	var err error
 	for i := 0; i < 50; i++ {
 		resp, err = http.Get("http://127.0.0.1:18642/healthz")
 		if err == nil {
@@ -148,5 +173,47 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	if verdict.RejectProb < 0 || verdict.RejectProb > 1 {
 		t.Fatalf("reject prob %v", verdict.RejectProb)
+	}
+
+	// /metrics reflects the traffic served so far.
+	resp, err = http.Get("http://127.0.0.1:18642/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBytes, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	prom := string(promBytes)
+	for _, want := range []string{
+		"# TYPE schedinspector_http_requests_total counter",
+		`schedinspector_http_requests_total{code="200",route="/v1/inspect"} 1`,
+		"# TYPE schedinspector_http_request_duration_seconds histogram",
+		"schedinspector_inspect_reject_ratio",
+		"schedinspector_inspect_decisions_total",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits cleanly.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- srv.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("inspectord exit after SIGTERM: %v\n%s", err, srvLog.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("inspectord did not exit after SIGTERM\n%s", srvLog.String())
+	}
+	logOut := srvLog.String()
+	if !strings.Contains(logOut, "decision-sampling seed 7") {
+		t.Errorf("effective seed not logged:\n%s", logOut)
+	}
+	if !strings.Contains(logOut, "stopped") {
+		t.Errorf("graceful shutdown not logged:\n%s", logOut)
 	}
 }

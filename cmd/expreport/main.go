@@ -38,8 +38,17 @@ func main() {
 		evalSeqs = flag.Int("eval-seqs", 0, "sampled test sequences")
 		evalLen  = flag.Int("eval-seqlen", 0, "jobs per test sequence")
 		seed     = flag.Int64("seed", 0, "base RNG seed")
+		curves   = flag.String("curves", "", "plot learning curves from a training-telemetry CSV/JSONL file and exit (see schedinspect train -telemetry)")
 	)
 	flag.Parse()
+
+	if *curves != "" {
+		if err := expt.PlotTelemetry(os.Stdout, *curves); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range expt.All() {

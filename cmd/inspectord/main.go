@@ -9,6 +9,13 @@
 //	POST /v1/inspect  — scheduling context in, {reject, reject_prob} out
 //	GET  /v1/info     — served model description
 //	GET  /healthz     — alias of /v1/info
+//	GET  /metrics     — Prometheus text exposition (requests, latency,
+//	                    decision counters, reject ratio)
+//	GET  /debug/pprof — CPU/heap/goroutine profiling (only with -pprof)
+//
+// The process logs its effective sampling seed at startup (decisions are
+// sampled from the policy, so the seed makes a served run reproducible),
+// and drains in-flight requests on SIGINT/SIGTERM before exiting.
 //
 // Example request:
 //
@@ -20,11 +27,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"schedinspector/internal/core"
@@ -33,21 +45,72 @@ import (
 
 func main() {
 	var (
-		model = flag.String("model", "model.gob", "trained model path (see schedinspect train)")
-		addr  = flag.String("addr", ":8642", "listen address")
-		seed  = flag.Int64("seed", 0, "decision-sampling seed (0 = time-based)")
+		model    = flag.String("model", "model.gob", "trained model path (see schedinspect train)")
+		addr     = flag.String("addr", ":8642", "listen address")
+		seed     = flag.Int64("seed", 0, "decision-sampling seed (0 = time-based)")
+		audit    = flag.String("audit", "", "append a JSONL decision audit log (request, features, verdict) to this file")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		drainFor = flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 	)
 	flag.Parse()
 
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
 	}
+	// Served decisions are sampled from the policy; logging the effective
+	// seed makes a run reproducible even when it was time-derived.
+	log.Printf("inspectord: decision-sampling seed %d", *seed)
 	insp, err := core.LoadInspectorFile(*model, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		log.Fatalf("inspectord: %v", err)
 	}
 	h := serve.NewHandler(insp)
-	fmt.Printf("inspectord: serving %s model (%s features, cluster %d) on %s\n",
+
+	if *audit != "" {
+		f, err := os.OpenFile(*audit, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("inspectord: audit log: %v", err)
+		}
+		defer f.Close()
+		h.SetAuditSink(f)
+		log.Printf("inspectord: auditing decisions to %s", *audit)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("inspectord: pprof enabled on /debug/pprof/")
+	}
+
+	log.Printf("inspectord: serving %s model (%s features, cluster %d) on %s",
 		insp.Norm.Metric, insp.Mode, insp.Norm.MaxProcs, *addr)
-	log.Fatal(http.ListenAndServe(*addr, h))
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("inspectord: %v", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("inspectord: shutting down (draining up to %v)", *drainFor)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("inspectord: shutdown: %v", err)
+			srv.Close()
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("inspectord: %v", err)
+		}
+		log.Printf("inspectord: stopped")
+	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -54,7 +55,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  schedinspect train -trace NAME [-swf FILE] -policy SJF -metric bsld [-epochs N] [-batch N] [-backfill] -model OUT.gob
+  schedinspect train -trace NAME [-swf FILE] -policy SJF -metric bsld [-epochs N] [-batch N] [-backfill] [-telemetry OUT.csv] -model OUT.gob
   schedinspect eval  -trace NAME [-swf FILE] -policy SJF -metric bsld [-sequences N] [-backfill] -model IN.gob
   schedinspect stats -trace NAME [-swf FILE]
   schedinspect inspect -trace NAME [-swf FILE] -policy SJF -model IN.gob`)
@@ -95,6 +96,7 @@ func cmdTrain(args []string) error {
 	features := fs.String("features", "manual", "feature mode (manual, compacted, native)")
 	reward := fs.String("reward", "percentage", "reward function (percentage, native, winloss)")
 	model := fs.String("model", "model.gob", "output model path")
+	telemetry := fs.String("telemetry", "", "write per-epoch training telemetry to this file (.jsonl for JSON lines, otherwise CSV)")
 	fs.Parse(args)
 
 	tr, err := loadTrace(*name, *swf, *jobs, *seed)
@@ -118,6 +120,18 @@ func cmdTrain(args []string) error {
 	}
 	if cfg.RewardKind, err = parseReward(*reward); err != nil {
 		return err
+	}
+	if *telemetry != "" {
+		f, err := os.Create(*telemetry)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if strings.HasSuffix(*telemetry, ".jsonl") {
+			cfg.Logger = core.NewJSONLTrainLogger(f)
+		} else {
+			cfg.Logger = core.NewCSVTrainLogger(f)
+		}
 	}
 	trainer, err := insp.NewTrainer(cfg)
 	if err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"schedinspector/internal/metrics"
 	"schedinspector/internal/rl"
@@ -33,6 +34,11 @@ type TrainConfig struct {
 	MaxRejections int     // simulator per-job rejection cap (72)
 
 	PPO rl.PPOConfig // optional PPO overrides (zero values take defaults)
+
+	// Logger, when non-nil, receives every epoch's statistics as soon as
+	// the PPO update completes — the telemetry hook behind the CSV/JSONL
+	// learning-curve exports (see NewCSVTrainLogger, NewJSONLTrainLogger).
+	Logger TrainLogger
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -77,9 +83,19 @@ type EpochStats struct {
 	// trajectories, the orange curves of Figures 7, 9 and 11.
 	RejectionRatio float64
 
-	ApproxKL  float64
-	ValueLoss float64
-	Entropy   float64
+	// RewardStd is the standard deviation of terminal rewards across the
+	// epoch's trajectories — the variance signal the §3.1 critic-ablation
+	// discussion turns on.
+	RewardStd float64
+
+	ApproxKL   float64
+	PolicyLoss float64 // clipped-surrogate loss at the last policy pass
+	ValueLoss  float64
+	Entropy    float64
+
+	PolicyIters int     // PPO policy passes actually run (KL early stop may cut them)
+	Steps       int     // RL transitions (inspections) gathered this epoch
+	Seconds     float64 // wall-clock duration of the epoch (sampling + update)
 }
 
 // Trainer drives the Figure 3 workflow: sample job sequences, run the base
@@ -168,6 +184,7 @@ func (t *Trainer) baseline(start int) (metrics.Summary, error) {
 // returns the epoch statistics.
 func (t *Trainer) RunEpoch() (EpochStats, error) {
 	t.epoch++
+	t0 := time.Now()
 	stats := EpochStats{Epoch: t.epoch}
 	batch := make([]rl.Trajectory, 0, t.cfg.Batch)
 	var inspections, rejections int
@@ -207,9 +224,17 @@ func (t *Trainer) RunEpoch() (EpochStats, error) {
 		return stats, err
 	}
 	stats.MeanReward = up.MeanReward
+	stats.RewardStd = up.RewardStd
 	stats.ApproxKL = up.ApproxKL
+	stats.PolicyLoss = up.PolicyLoss
 	stats.ValueLoss = up.ValueLoss
 	stats.Entropy = up.Entropy
+	stats.PolicyIters = up.PolicyIters
+	stats.Steps = up.Steps
+	stats.Seconds = time.Since(t0).Seconds()
+	if t.cfg.Logger != nil {
+		t.cfg.Logger.LogEpoch(stats)
+	}
 	return stats, nil
 }
 

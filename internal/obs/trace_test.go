@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Event{Kind: EventJobStart, JobID: i, Time: float64(i)})
+	}
+	ev := tr.Events()
+	if len(ev) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(ev))
+	}
+	for i, e := range ev {
+		if e.JobID != i+2 {
+			t.Errorf("event %d: job %d, want %d (oldest-first after wrap)", i, e.JobID, i+2)
+		}
+	}
+	if tr.Total() != 5 || tr.Dropped() != 2 {
+		t.Errorf("total %d dropped %d, want 5/2", tr.Total(), tr.Dropped())
+	}
+}
+
+func TestTracerDefaultCap(t *testing.T) {
+	tr := NewTracer(0)
+	if cap(tr.ring) != DefaultTraceCap {
+		t.Errorf("default cap %d", cap(tr.ring))
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Kind: EventReject})
+	tr.SetSink(&strings.Builder{})
+	if tr.Events() != nil || tr.Total() != 0 || tr.Dropped() != 0 || tr.SinkErr() != nil {
+		t.Error("nil tracer not inert")
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(2) // smaller than the event count: sink still sees all
+	tr.SetSink(&buf)
+	tr.Emit(Event{Kind: EventSchedPoint, Time: 10, JobID: 7, Procs: 4, Wait: 2.5, FreeProcs: 16, QueueLen: 3})
+	tr.Emit(Event{Kind: EventReject, Time: 10, JobID: 7, Procs: 4, FreeProcs: 16, QueueLen: 3, Rejections: 1})
+	tr.Emit(Event{Kind: EventJobEnd, Time: 99, JobID: 7})
+	if err := tr.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("%d JSONL lines, want 3", len(lines))
+	}
+	if lines[0]["kind"] != "sched_point" || lines[0]["t"] != 10.0 || lines[0]["wait"] != 2.5 {
+		t.Errorf("first line %v", lines[0])
+	}
+	if lines[1]["kind"] != "reject" || lines[1]["rejections"] != 1.0 {
+		t.Errorf("reject line %v", lines[1])
+	}
+	if _, has := lines[2]["rejections"]; has {
+		t.Errorf("zero rejections not omitted: %v", lines[2])
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errors.New("disk full")
+}
+
+func TestSinkErrorSticks(t *testing.T) {
+	tr := NewTracer(4)
+	fw := &failWriter{}
+	tr.SetSink(fw)
+	tr.Emit(Event{})
+	tr.Emit(Event{})
+	if tr.SinkErr() == nil {
+		t.Fatal("sink error not recorded")
+	}
+	if fw.n != 1 {
+		t.Errorf("sink written %d times after error, want 1", fw.n)
+	}
+	if len(tr.Events()) != 2 {
+		t.Errorf("ring stopped recording after sink error")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	cases := map[EventKind]string{
+		EventSchedPoint: "sched_point", EventAccept: "accept", EventReject: "reject",
+		EventBackfill: "backfill", EventJobStart: "job_start", EventJobEnd: "job_end",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if s := EventKind(200).String(); !strings.Contains(s, "200") {
+		t.Errorf("unknown kind %q", s)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Emit(Event{Kind: EventJobStart, JobID: i})
+			}
+		}()
+	}
+	go tr.Events()
+	wg.Wait()
+	if tr.Total() != 2000 {
+		t.Errorf("total %d", tr.Total())
+	}
+}

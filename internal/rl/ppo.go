@@ -170,8 +170,10 @@ func NewPPO(agent *Agent, cfg PPOConfig) *PPO {
 type UpdateStats struct {
 	Steps       int     // transitions in the batch
 	MeanReward  float64 // mean terminal reward across trajectories
+	RewardStd   float64 // standard deviation of terminal rewards
 	ApproxKL    float64 // KL estimate at the last policy pass
 	PolicyIters int     // passes actually run (early stop may cut them)
+	PolicyLoss  float64 // clipped-surrogate loss (entropy bonus included) at the last pass
 	ValueLoss   float64 // critic MSE after the update
 	Entropy     float64 // mean policy entropy over the batch
 }
@@ -202,6 +204,12 @@ func (p *PPO) Update(batch []Trajectory) (UpdateStats, error) {
 	}
 	if len(batch) > 0 {
 		stats.MeanReward /= float64(len(batch))
+		var rv float64
+		for _, tr := range batch {
+			d := tr.Reward - stats.MeanReward
+			rv += d * d
+		}
+		stats.RewardStd = math.Sqrt(rv / float64(len(batch)))
 	}
 	if len(flat) == 0 {
 		return stats, nil
@@ -225,7 +233,7 @@ func (p *PPO) Update(batch []Trajectory) (UpdateStats, error) {
 		flat[i].adv = (flat[i].adv - mean) / std
 	}
 
-	stats.PolicyIters, stats.ApproxKL, stats.Entropy = p.updatePolicy(flat)
+	stats.PolicyIters, stats.ApproxKL, stats.Entropy, stats.PolicyLoss = p.updatePolicy(flat)
 	if !p.cfg.NoCritic {
 		stats.ValueLoss = p.updateValue(flat)
 	}
@@ -233,8 +241,9 @@ func (p *PPO) Update(batch []Trajectory) (UpdateStats, error) {
 }
 
 // updatePolicy runs clipped-surrogate passes with entropy bonus and KL early
-// stopping. Returns passes run, final approximate KL, and mean entropy.
-func (p *PPO) updatePolicy(flat []flatSample) (iters int, kl, entropy float64) {
+// stopping. Returns passes run, final approximate KL, mean entropy, and the
+// mean loss (clipped surrogate minus entropy bonus) of the last pass.
+func (p *PPO) updatePolicy(flat []flatSample) (iters int, kl, entropy, loss float64) {
 	nA := p.agent.Policy.OutputSize()
 	dLogits := make([]float64, nA)
 	probs := make([]float64, nA)
@@ -242,7 +251,7 @@ func (p *PPO) updatePolicy(flat []flatSample) (iters int, kl, entropy float64) {
 
 	for iter := 0; iter < p.cfg.PolicyIters; iter++ {
 		p.polG.Zero()
-		var klSum, entSum float64
+		var klSum, entSum, lossSum float64
 		for i := range flat {
 			s := &flat[i]
 			logits := p.agent.Policy.Forward(s.obs, &cache)
@@ -250,6 +259,8 @@ func (p *PPO) updatePolicy(flat []flatSample) (iters int, kl, entropy float64) {
 			logpNew := math.Log(math.Max(probs[s.act], 1e-12))
 			ratio := math.Exp(logpNew - s.logp)
 			klSum += s.logp - logpNew
+			clipped := math.Max(math.Min(ratio, 1+p.cfg.ClipRatio), 1-p.cfg.ClipRatio)
+			lossSum += -math.Min(ratio*s.adv, clipped*s.adv)
 
 			// Clipped surrogate: gradient flows only when unclipped.
 			coef := 0.0
@@ -281,6 +292,7 @@ func (p *PPO) updatePolicy(flat []flatSample) (iters int, kl, entropy float64) {
 		}
 		kl = klSum / float64(len(flat))
 		entropy = entSum / float64(len(flat))
+		loss = (lossSum - p.cfg.EntropyCoef*entSum) / float64(len(flat))
 		iters = iter + 1
 		if kl > 1.5*p.cfg.TargetKL && iter > 0 {
 			break // stop before applying a step that drifts too far
@@ -289,7 +301,7 @@ func (p *PPO) updatePolicy(flat []flatSample) (iters int, kl, entropy float64) {
 		p.polG.ClipGlobalNorm(p.cfg.MaxGradNorm)
 		p.polOpt.Step(p.agent.Policy, p.polG)
 	}
-	return iters, kl, entropy
+	return iters, kl, entropy, loss
 }
 
 // updateValue fits the critic to the returns with MSE; returns final loss.

@@ -7,10 +7,14 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"schedinspector/internal/core"
+	"schedinspector/internal/obs"
 	"schedinspector/internal/sim"
 	"schedinspector/internal/workload"
 )
@@ -58,16 +62,141 @@ type Handler struct {
 	mu   sync.Mutex // the inspector reuses internal buffers
 	insp *core.Inspector
 	mux  *http.ServeMux
+
+	// Telemetry.
+	reg       *obs.Registry
+	reqMu     sync.Mutex
+	reqCounts map[string]*obs.Counter // "route code" -> requests_total series
+	latency   map[string]*obs.Histogram
+	accepts   *obs.Counter
+	rejects   *obs.Counter
+	rejRatio  *obs.Gauge
+	probHist  *obs.Histogram
+
+	auditMu sync.Mutex
+	audit   *json.Encoder // decision audit log (JSONL), nil unless enabled
 }
 
 // NewHandler wraps the inspector in an http.Handler with routes
-// POST /v1/inspect and GET /v1/info (also served at /healthz).
+// POST /v1/inspect, GET /v1/info (also served at /healthz) and
+// GET /metrics (Prometheus text exposition).
 func NewHandler(insp *core.Inspector) *Handler {
-	h := &Handler{insp: insp, mux: http.NewServeMux()}
-	h.mux.HandleFunc("/v1/inspect", h.inspect)
-	h.mux.HandleFunc("/v1/info", h.info)
-	h.mux.HandleFunc("/healthz", h.info)
+	h := &Handler{
+		insp:      insp,
+		mux:       http.NewServeMux(),
+		reg:       obs.NewRegistry(),
+		reqCounts: make(map[string]*obs.Counter),
+		latency:   make(map[string]*obs.Histogram),
+	}
+	h.accepts = h.reg.Counter("schedinspector_inspect_decisions_total",
+		"Inspection verdicts served, by outcome.", obs.Labels{"verdict": "accept"})
+	h.rejects = h.reg.Counter("schedinspector_inspect_decisions_total",
+		"Inspection verdicts served, by outcome.", obs.Labels{"verdict": "reject"})
+	h.rejRatio = h.reg.Gauge("schedinspector_inspect_reject_ratio",
+		"Fraction of served decisions that rejected (lifetime).", nil)
+	h.probHist = h.reg.Histogram("schedinspector_inspect_reject_prob",
+		"Distribution of the policy's rejection probability.",
+		obs.LinearBuckets(0.1, 0.1, 9), nil)
+	h.reg.Gauge("schedinspector_model_params",
+		"Parameters of the served policy network.", nil).
+		Set(float64(insp.Agent.Policy.NumParams()))
+	h.mux.HandleFunc("/v1/inspect", h.instrument("/v1/inspect", h.inspect))
+	h.mux.HandleFunc("/v1/info", h.instrument("/v1/info", h.info))
+	h.mux.HandleFunc("/healthz", h.instrument("/healthz", h.info))
+	h.mux.Handle("/metrics", h.reg.Handler())
 	return h
+}
+
+// Registry exposes the handler's metrics registry so callers (e.g.
+// cmd/inspectord) can add process-level series to the same /metrics page.
+func (h *Handler) Registry() *obs.Registry { return h.reg }
+
+// SetAuditSink enables the decision audit log: one JSON line per
+// /v1/inspect decision, recording the request, the normalized feature
+// vector the model saw, and the verdict. Pass nil to disable.
+func (h *Handler) SetAuditSink(w io.Writer) {
+	h.auditMu.Lock()
+	if w == nil {
+		h.audit = nil
+	} else {
+		h.audit = json.NewEncoder(w)
+	}
+	h.auditMu.Unlock()
+}
+
+// statusWriter captures the response code for the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route with a request counter (by status code) and a
+// latency histogram.
+func (h *Handler) instrument(route string, fn http.HandlerFunc) http.HandlerFunc {
+	hist := h.reg.Histogram("schedinspector_http_request_duration_seconds",
+		"HTTP request latency by route.", nil, obs.Labels{"route": route})
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r)
+		hist.Observe(time.Since(start).Seconds())
+		h.requestCounter(route, sw.code).Inc()
+	}
+}
+
+// requestCounter lazily creates the requests_total series for route+code
+// (codes are not enumerable up front).
+func (h *Handler) requestCounter(route string, code int) *obs.Counter {
+	key := route + " " + strconv.Itoa(code)
+	h.reqMu.Lock()
+	defer h.reqMu.Unlock()
+	c := h.reqCounts[key]
+	if c == nil {
+		c = h.reg.Counter("schedinspector_http_requests_total",
+			"HTTP requests served, by route and status code.",
+			obs.Labels{"route": route, "code": strconv.Itoa(code)})
+		h.reqCounts[key] = c
+	}
+	return c
+}
+
+// auditRecord is one line of the decision audit log.
+type auditRecord struct {
+	Time       string    `json:"time"`
+	Request    any       `json:"request"`
+	Features   []float64 `json:"features"`
+	RejectProb float64   `json:"reject_prob"`
+	Reject     bool      `json:"reject"`
+}
+
+// recordDecision updates the decision metrics and, if enabled, the audit
+// log.
+func (h *Handler) recordDecision(req *InspectRequest, feat []float64, prob float64, reject bool) {
+	if reject {
+		h.rejects.Inc()
+	} else {
+		h.accepts.Inc()
+	}
+	total := h.accepts.Value() + h.rejects.Value()
+	h.rejRatio.Set(h.rejects.Value() / total)
+	h.probHist.Observe(prob)
+
+	h.auditMu.Lock()
+	if h.audit != nil {
+		h.audit.Encode(auditRecord{
+			Time:       time.Now().UTC().Format(time.RFC3339Nano),
+			Request:    req,
+			Features:   feat,
+			RejectProb: prob,
+			Reject:     reject,
+		})
+	}
+	h.auditMu.Unlock()
 }
 
 // ServeHTTP implements http.Handler.
@@ -106,11 +235,20 @@ func (h *Handler) inspect(w http.ResponseWriter, r *http.Request) {
 		st.Queue = append(st.Queue, sim.QueueItem{Wait: q.Wait, Est: q.Est, Procs: q.Procs})
 	}
 
+	h.auditMu.Lock()
+	auditing := h.audit != nil
+	h.auditMu.Unlock()
+
 	h.mu.Lock()
 	prob := h.insp.RejectProb(st)
 	reject := h.insp.Stochastic()(st)
+	var feat []float64
+	if auditing {
+		feat = h.insp.Norm.Features(nil, h.insp.Mode, st)
+	}
 	h.mu.Unlock()
 
+	h.recordDecision(&req, feat, prob, reject)
 	writeJSON(w, InspectResponse{Reject: reject, RejectProb: prob})
 }
 

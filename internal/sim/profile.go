@@ -144,6 +144,7 @@ func (s *sim) conservativePass(reservedID int) bool {
 		j := &s.queue[idx].job
 		start := p.earliestStart(j.Procs, j.Est)
 		if start <= s.now && j.Procs <= s.free && j.ID != reservedID {
+			s.emitBackfill(idx)
 			s.startJob(idx)
 			s.out.Backfills++
 			return true // queue indices shifted; re-plan

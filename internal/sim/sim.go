@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"schedinspector/internal/metrics"
+	"schedinspector/internal/obs"
 	"schedinspector/internal/sched"
 	"schedinspector/internal/workload"
 )
@@ -73,6 +74,7 @@ type Config struct {
 	MaxInterval   float64      // retry cut-off; 0 means DefaultMaxInterval
 	MaxRejections int          // per-job rejection cap; 0 means DefaultMaxRejections; <0 means none allowed
 	TrackUsage    bool         // record the usage timeline (Result.Usage)
+	Tracer        *obs.Tracer  // optional event tracer; nil (the default) costs one branch per event site
 }
 
 // Result is the outcome of a simulation run.
@@ -149,6 +151,7 @@ type runningJob struct {
 	end    float64 // actual completion time
 	estEnd float64 // estimated completion time (start + est)
 	procs  int
+	id     int
 }
 
 type runHeap []runningJob
@@ -188,6 +191,13 @@ func (s *sim) run() {
 			continue
 		}
 		idx := s.pickTop()
+		if t := s.cfg.Tracer; t != nil {
+			w := &s.queue[idx]
+			t.Emit(obs.Event{
+				Kind: obs.EventSchedPoint, Time: s.now, JobID: w.job.ID, Procs: w.job.Procs,
+				Wait: s.now - w.job.Submit, FreeProcs: s.free, QueueLen: len(s.queue),
+			})
+		}
 		if s.rejectDecision(idx) {
 			s.queue[idx].rejects++
 			s.out.Rejections++
@@ -215,7 +225,19 @@ func (s *sim) rejectDecision(idx int) bool {
 	}
 	s.fillState(idx)
 	s.out.Inspections++
-	return s.cfg.Inspector(&s.state)
+	rejected := s.cfg.Inspector(&s.state)
+	if t := s.cfg.Tracer; t != nil {
+		kind := obs.EventAccept
+		if rejected {
+			kind = obs.EventReject
+		}
+		t.Emit(obs.Event{
+			Kind: kind, Time: s.now, JobID: w.job.ID, Procs: w.job.Procs,
+			Wait: s.now - w.job.Submit, FreeProcs: s.free, QueueLen: len(s.queue),
+			Rejections: w.rejects,
+		})
+	}
+	return rejected
 }
 
 // fillState refreshes the reusable inspector state for queue[idx].
@@ -330,7 +352,7 @@ func (s *sim) startJob(idx int) {
 		panic("sim: startJob without resources")
 	}
 	s.free -= j.Procs
-	heap.Push(&s.running, runningJob{end: s.now + j.Run, estEnd: s.now + j.Est, procs: j.Procs})
+	heap.Push(&s.running, runningJob{end: s.now + j.Run, estEnd: s.now + j.Est, procs: j.Procs, id: j.ID})
 	s.out.Results = append(s.out.Results, metrics.JobResult{
 		ID: j.ID, Submit: j.Submit, Start: s.now, End: s.now + j.Run,
 		Run: j.Run, Est: j.Est, Procs: j.Procs,
@@ -339,6 +361,12 @@ func (s *sim) startJob(idx int) {
 		obs.ObserveStart(&j, s.now)
 	}
 	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+	if t := s.cfg.Tracer; t != nil {
+		t.Emit(obs.Event{
+			Kind: obs.EventJobStart, Time: s.now, JobID: j.ID, Procs: j.Procs,
+			Wait: s.now - j.Submit, FreeProcs: s.free, QueueLen: len(s.queue),
+		})
+	}
 	s.recordUsage()
 }
 
@@ -395,9 +423,24 @@ func (s *sim) backfill(reservedID int) {
 		if procs <= extra {
 			extra -= procs
 		}
+		s.emitBackfill(idx)
 		s.startJob(idx)
 		s.out.Backfills++
 	}
+}
+
+// emitBackfill traces that queue[idx] is about to start via backfilling
+// (followed by its job_start event).
+func (s *sim) emitBackfill(idx int) {
+	t := s.cfg.Tracer
+	if t == nil {
+		return
+	}
+	j := &s.queue[idx].job
+	t.Emit(obs.Event{
+		Kind: obs.EventBackfill, Time: s.now, JobID: j.ID, Procs: j.Procs,
+		Wait: s.now - j.Submit, FreeProcs: s.free, QueueLen: len(s.queue),
+	})
 }
 
 // pickBackfillable returns the best-priority queue index eligible for
@@ -472,6 +515,12 @@ func (s *sim) advanceTo(t float64) {
 	for len(s.running) > 0 && s.running[0].end <= t {
 		r := heap.Pop(&s.running).(runningJob)
 		s.free += r.procs
+		if tr := s.cfg.Tracer; tr != nil {
+			tr.Emit(obs.Event{
+				Kind: obs.EventJobEnd, Time: r.end, JobID: r.id, Procs: r.procs,
+				FreeProcs: s.free, QueueLen: len(s.queue),
+			})
+		}
 	}
 	s.ingestArrivals()
 	s.recordUsage()

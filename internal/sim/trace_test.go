@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"schedinspector/internal/obs"
+	"schedinspector/internal/sched"
+	"schedinspector/internal/workload"
+)
+
+// traceJobs is a tiny deterministic sequence: J1 fills half the cluster,
+// J2 arrives later and fits alongside, J3 needs the whole machine.
+func traceJobs() []workload.Job {
+	return []workload.Job{
+		{ID: 1, Submit: 0, Run: 100, Est: 120, Procs: 2},
+		{ID: 2, Submit: 10, Run: 50, Est: 60, Procs: 2},
+		{ID: 3, Submit: 20, Run: 30, Est: 40, Procs: 4},
+	}
+}
+
+func TestTracerEventLifecycle(t *testing.T) {
+	tr := obs.NewTracer(128)
+	res, err := Run(traceJobs(), Config{MaxProcs: 4, Policy: sched.FCFS(), Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 3 {
+		t.Fatalf("scheduled %d jobs", len(res.Results))
+	}
+	ev := tr.Events()
+	counts := map[obs.EventKind]int{}
+	starts := map[int]bool{}
+	ends := map[int]bool{}
+	var lastTime float64
+	for _, e := range ev {
+		counts[e.Kind]++
+		if e.Time < lastTime {
+			t.Fatalf("events out of order: %v after t=%v", e, lastTime)
+		}
+		lastTime = e.Time
+		switch e.Kind {
+		case obs.EventJobStart:
+			starts[e.JobID] = true
+		case obs.EventJobEnd:
+			if !starts[e.JobID] {
+				t.Errorf("job %d ended before starting", e.JobID)
+			}
+			ends[e.JobID] = true
+		}
+	}
+	if counts[obs.EventJobStart] != 3 {
+		t.Errorf("%d job_start events, want 3", counts[obs.EventJobStart])
+	}
+	// All three jobs start, so all three completions are eventually popped
+	// only if the sim advances past them; the run ends when the last job
+	// STARTS, so ends <= starts.
+	if counts[obs.EventJobEnd] > counts[obs.EventJobStart] {
+		t.Errorf("more ends (%d) than starts (%d)", counts[obs.EventJobEnd], counts[obs.EventJobStart])
+	}
+	if counts[obs.EventSchedPoint] < 3 {
+		t.Errorf("%d sched_point events, want >= 3", counts[obs.EventSchedPoint])
+	}
+	// No inspector: no accept/reject events.
+	if counts[obs.EventAccept] != 0 || counts[obs.EventReject] != 0 {
+		t.Errorf("inspection events without inspector: %v", counts)
+	}
+}
+
+func TestTracerInspectionEvents(t *testing.T) {
+	tr := obs.NewTracer(0)
+	rejectFirst := 0
+	insp := func(s *State) bool {
+		rejectFirst++
+		return rejectFirst == 1 // reject exactly the first consulted decision
+	}
+	res, err := Run(traceJobs(), Config{MaxProcs: 4, Policy: sched.FCFS(), Inspector: insp, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejections != 1 {
+		t.Fatalf("rejections %d", res.Rejections)
+	}
+	var accepts, rejects int
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case obs.EventAccept:
+			accepts++
+		case obs.EventReject:
+			rejects++
+			if e.JobID != 1 || e.Rejections != 0 {
+				t.Errorf("reject event %+v", e)
+			}
+		}
+	}
+	if rejects != 1 || accepts != res.Inspections-1 {
+		t.Errorf("accepts %d rejects %d, inspections %d", accepts, rejects, res.Inspections)
+	}
+}
+
+func TestTracerBackfillEvent(t *testing.T) {
+	// J1 occupies most of the machine; FCFS commits to wide J2; J3 fits in
+	// the leftover and finishes before J2's shadow time -> EASY backfills it.
+	jobs := []workload.Job{
+		{ID: 1, Submit: 0, Run: 100, Est: 100, Procs: 3},
+		{ID: 2, Submit: 1, Run: 50, Est: 50, Procs: 4},
+		{ID: 3, Submit: 2, Run: 10, Est: 10, Procs: 1},
+	}
+	tr := obs.NewTracer(0)
+	res, err := Run(jobs, Config{MaxProcs: 4, Policy: sched.FCFS(), Backfill: true, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backfills != 1 {
+		t.Fatalf("backfills %d, want 1", res.Backfills)
+	}
+	found := false
+	for _, e := range tr.Events() {
+		if e.Kind == obs.EventBackfill {
+			found = true
+			if e.JobID != 3 {
+				t.Errorf("backfill event for job %d, want 3", e.JobID)
+			}
+		}
+	}
+	if !found {
+		t.Error("no backfill event traced")
+	}
+}
+
+func TestTracerJSONLSinkFromSim(t *testing.T) {
+	var buf strings.Builder
+	tr := obs.NewTracer(4) // ring smaller than the event stream
+	tr.SetSink(&buf)
+	if _, err := Run(traceJobs(), Config{MaxProcs: 4, Policy: sched.SJF(), Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if uint64(lines) != tr.Total() {
+		t.Errorf("sink got %d lines, tracer emitted %d", lines, tr.Total())
+	}
+	if !strings.Contains(buf.String(), `"kind":"sched_point"`) {
+		t.Errorf("sink output missing sched_point:\n%s", buf.String())
+	}
+}
+
+// TestNilTracerUnchanged pins the fast path: a run with a nil tracer is
+// byte-identical in results to the same run without the field set.
+func TestNilTracerUnchanged(t *testing.T) {
+	tr := workload.SDSCSP2Like(600, 11)
+	jobs := tr.Window(0, 200)
+	a, err := Run(jobs, Config{MaxProcs: tr.MaxProcs, Policy: sched.SJF(), Backfill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(jobs, Config{MaxProcs: tr.MaxProcs, Policy: sched.SJF(), Backfill: true, Tracer: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Results) != len(b.Results) || a.Backfills != b.Backfills {
+		t.Fatal("nil tracer changed results")
+	}
+	for i := range a.Results {
+		if a.Results[i] != b.Results[i] {
+			t.Fatalf("result %d differs: %+v vs %+v", i, a.Results[i], b.Results[i])
+		}
+	}
+}

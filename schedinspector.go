@@ -38,6 +38,7 @@ import (
 
 	"schedinspector/internal/core"
 	"schedinspector/internal/metrics"
+	"schedinspector/internal/obs"
 	"schedinspector/internal/sched"
 	"schedinspector/internal/sim"
 	"schedinspector/internal/workload"
@@ -91,6 +92,17 @@ type (
 	Normalizer = core.Normalizer
 	// Recorder logs inspection decisions for the §5 analysis.
 	Recorder = core.Recorder
+
+	// Tracer records structured simulator events (set SimConfig.Tracer).
+	Tracer = obs.Tracer
+	// TraceEvent is one simulator event in a Tracer's buffer or JSONL sink.
+	TraceEvent = obs.Event
+	// MetricsRegistry renders counters/gauges/histograms in Prometheus
+	// text exposition format (the substrate behind inspectord's /metrics).
+	MetricsRegistry = obs.Registry
+	// TrainLogger receives per-epoch training telemetry
+	// (set TrainConfig.Logger).
+	TrainLogger = core.TrainLogger
 )
 
 // Metrics.
@@ -208,3 +220,19 @@ func NormalizerForTrace(t *Trace, metric Metric) Normalizer {
 
 // ParseMetric converts "bsld", "wait", "mbsld" or "util" into a Metric.
 func ParseMetric(s string) (Metric, error) { return metrics.ParseMetric(s) }
+
+// NewTracer returns a simulator event tracer holding the last capacity
+// events (a default of 4096 for capacity <= 0). Attach it via
+// SimConfig.Tracer; stream JSONL with its SetSink method.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewCSVTrainLogger writes per-epoch training telemetry to w as CSV (one
+// header row, then one row per epoch).
+func NewCSVTrainLogger(w io.Writer) TrainLogger { return core.NewCSVTrainLogger(w) }
+
+// NewJSONLTrainLogger writes per-epoch training telemetry to w as JSON
+// lines.
+func NewJSONLTrainLogger(w io.Writer) TrainLogger { return core.NewJSONLTrainLogger(w) }
