@@ -1,7 +1,9 @@
 # Build/verify entry points. `make verify` is the pre-commit gate: build,
 # vet, formatting, the full test suite, and a -race pass over the packages
-# with lock-free hot paths (the obs registry and the instrumented server),
-# which is exactly where data races would hide.
+# with concurrent hot paths (the obs registry, the instrumented server, and
+# the parallel rollout engine in core/rl/sim), which is exactly where data
+# races would hide. The rollout packages run with -short so the race pass
+# stays fast; the long learning test is covered by the plain `test` target.
 
 GO ?= go
 
@@ -28,6 +30,7 @@ test-short:
 
 race:
 	$(GO) test -race ./internal/obs/ ./internal/serve/
+	$(GO) test -race -short ./internal/core/ ./internal/rl/ ./internal/sim/
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -38,6 +38,7 @@ func main() {
 		evalSeqs = flag.Int("eval-seqs", 0, "sampled test sequences")
 		evalLen  = flag.Int("eval-seqlen", 0, "jobs per test sequence")
 		seed     = flag.Int64("seed", 0, "base RNG seed")
+		workers  = flag.Int("workers", 0, "rollout worker goroutines (0 = one per CPU); results are identical at any count")
 		curves   = flag.String("curves", "", "plot learning curves from a training-telemetry CSV/JSONL file and exit (see schedinspect train -telemetry)")
 	)
 	flag.Parse()
@@ -87,6 +88,7 @@ func main() {
 	if *seed != 0 {
 		o.Seed = *seed
 	}
+	o.Workers = *workers
 
 	var selected []expt.Experiment
 	if *exps == "all" {

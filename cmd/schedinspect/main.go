@@ -55,8 +55,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  schedinspect train -trace NAME [-swf FILE] -policy SJF -metric bsld [-epochs N] [-batch N] [-backfill] [-telemetry OUT.csv] -model OUT.gob
-  schedinspect eval  -trace NAME [-swf FILE] -policy SJF -metric bsld [-sequences N] [-backfill] -model IN.gob
+  schedinspect train -trace NAME [-swf FILE] -policy SJF -metric bsld [-epochs N] [-batch N] [-workers N] [-backfill] [-telemetry OUT.csv] -model OUT.gob
+  schedinspect eval  -trace NAME [-swf FILE] -policy SJF -metric bsld [-sequences N] [-workers N] [-backfill] -model IN.gob
   schedinspect stats -trace NAME [-swf FILE]
   schedinspect inspect -trace NAME [-swf FILE] -policy SJF -model IN.gob`)
 }
@@ -97,6 +97,7 @@ func cmdTrain(args []string) error {
 	reward := fs.String("reward", "percentage", "reward function (percentage, native, winloss)")
 	model := fs.String("model", "model.gob", "output model path")
 	telemetry := fs.String("telemetry", "", "write per-epoch training telemetry to this file (.jsonl for JSON lines, otherwise CSV)")
+	workers := fs.Int("workers", 0, "rollout worker goroutines (0 = one per CPU); results are identical at any count")
 	fs.Parse(args)
 
 	tr, err := loadTrace(*name, *swf, *jobs, *seed)
@@ -115,6 +116,7 @@ func cmdTrain(args []string) error {
 	cfg.Trace, cfg.Policy, cfg.Metric = tr, pol, m
 	cfg.Backfill = *backfill
 	cfg.Batch, cfg.SeqLen, cfg.Seed = *batch, *seqLen, *seed
+	cfg.Workers = *workers
 	if cfg.FeatureMode, err = parseFeatures(*features); err != nil {
 		return err
 	}
@@ -162,6 +164,7 @@ func cmdEval(args []string) error {
 	seqLen := fs.Int("seqlen", 256, "jobs per test sequence")
 	backfill := fs.Bool("backfill", false, "enable EASY backfilling")
 	model := fs.String("model", "model.gob", "trained model path")
+	workers := fs.Int("workers", 0, "rollout worker goroutines (0 = one per CPU); results are identical at any count")
 	fs.Parse(args)
 
 	tr, err := loadTrace(*name, *swf, *jobs, *seed)
@@ -185,6 +188,7 @@ func cmdEval(args []string) error {
 	res, err := insp.Evaluate(mod, insp.EvalConfig{
 		Trace: tr, Policy: pol, Metric: m, Backfill: *backfill,
 		Sequences: *sequences, SeqLen: *seqLen, Seed: *seed,
+		Workers: *workers,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"schedinspector/internal/metrics"
+)
+
+// DefaultBaselineCacheSize bounds how many per-window baseline summaries a
+// trainer retains. Each entry is one metrics.Summary (a few words), so the
+// default is generous, but on long traces with large training regions an
+// unbounded map would otherwise grow for the life of the run.
+const DefaultBaselineCacheSize = 4096
+
+// baselineCache memoizes baseline (uninspected) window summaries with three
+// properties the parallel rollout engine needs:
+//
+//   - concurrency safety: any number of workers may call Get at once;
+//   - duplicate suppression: two workers hitting the same uncached window
+//     block on one computation instead of running it twice (singleflight);
+//   - a bound: least-recently-used completed entries are evicted once the
+//     cache exceeds max, so memory is O(max) regardless of trace length.
+//
+// Baseline summaries are pure functions of the window, so cache hits are
+// bit-identical to recomputation and the cache never affects determinism.
+type baselineCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used, values *baselineEntry
+	byKey map[int]*list.Element
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type baselineEntry struct {
+	key  int
+	once sync.Once
+	done atomic.Bool // set after once completes; in-flight entries are never evicted
+	sum  metrics.Summary
+	err  error
+}
+
+func newBaselineCache(max int) *baselineCache {
+	if max <= 0 {
+		max = DefaultBaselineCacheSize
+	}
+	return &baselineCache{max: max, ll: list.New(), byKey: make(map[int]*list.Element)}
+}
+
+// Get returns the cached summary for key, or runs compute exactly once —
+// even under concurrent callers — and caches the result.
+func (c *baselineCache) Get(key int, compute func() (metrics.Summary, error)) (metrics.Summary, error) {
+	c.mu.Lock()
+	el, ok := c.byKey[key]
+	if ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+		el = c.ll.PushFront(&baselineEntry{key: key})
+		c.byKey[key] = el
+		c.evictLocked()
+	}
+	e := el.Value.(*baselineEntry)
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.sum, e.err = compute()
+		e.done.Store(true)
+	})
+	if e.err != nil {
+		// Do not poison the cache with failures; a later Get may retry.
+		c.mu.Lock()
+		if el, ok := c.byKey[key]; ok && el.Value.(*baselineEntry) == e {
+			c.ll.Remove(el)
+			delete(c.byKey, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.sum, e.err
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// fits the bound. Entries still being computed are skipped: their waiters
+// hold the entry pointer, and evicting them would only force a duplicate
+// computation later.
+func (c *baselineCache) evictLocked() {
+	for el := c.ll.Back(); el != nil && c.ll.Len() > c.max; {
+		prev := el.Prev()
+		if e := el.Value.(*baselineEntry); e.done.Load() {
+			c.ll.Remove(el)
+			delete(c.byKey, e.key)
+			c.evictions.Add(1)
+		}
+		el = prev
+	}
+}
+
+// Len returns the current number of entries (including in-flight ones).
+func (c *baselineCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit, miss and eviction counts.
+func (c *baselineCache) Stats() (hits, misses, evictions uint64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

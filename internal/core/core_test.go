@@ -218,7 +218,7 @@ func TestTrainerEpochMechanics(t *testing.T) {
 		t.Errorf("rejection ratio %v", st.RejectionRatio)
 	}
 	// baseline cache fills as windows are sampled
-	if len(trainer.baseCache) == 0 {
+	if trainer.baseCache.Len() == 0 {
 		t.Error("baseline cache empty after epoch")
 	}
 	// Train() accumulates stats and invokes the callback.

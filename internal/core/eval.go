@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"schedinspector/internal/metrics"
 	"schedinspector/internal/sched"
@@ -26,6 +27,16 @@ type EvalConfig struct {
 	Seed          int64
 	MaxInterval   float64
 	MaxRejections int
+
+	// Workers fans the sequences out over this many goroutines (0 = one
+	// per CPU). Results are independent of the worker count: each sequence
+	// draws from a private RNG stream derived from (Seed, index) and the
+	// summaries are reduced in index order.
+	Workers int
+
+	// Metrics, when non-nil, receives worker-utilization and per-sequence
+	// latency observations (see NewRolloutMetrics).
+	Metrics *RolloutMetrics
 }
 
 func (c EvalConfig) withDefaults() EvalConfig {
@@ -43,6 +54,9 @@ func (c EvalConfig) withDefaults() EvalConfig {
 	}
 	if c.MaxRejections == 0 {
 		c.MaxRejections = sim.DefaultMaxRejections
+	}
+	if c.Workers == 0 {
+		c.Workers = resolveWorkers(0)
 	}
 	return c
 }
@@ -119,16 +133,34 @@ func (r EvalResult) RejectionRatio() float64 {
 	return float64(r.Rejections) / float64(r.Inspections)
 }
 
+// evalSeqResult is one sequence's paired outcome, filled into its index
+// slot by whichever worker ran it.
+type evalSeqResult struct {
+	base, insp  metrics.Summary
+	inspections int
+	rejections  int
+	err         error
+}
+
 // Evaluate schedules cfg.Sequences randomly sampled test sequences twice —
 // with the base policy alone and with the inspector on top — and returns
-// the paired summaries. The inspector runs in stochastic mode by default
-// (inference mirrors training, §3.2); set cfg.Greedy for argmax decisions.
-// A nil inspector evaluates the base policy against itself (useful for
-// harness plumbing tests).
+// the paired summaries. Sequences fan out over cfg.Workers goroutines, each
+// holding read-only clones of the inspector and (when stateful) the policy;
+// every sequence draws its window and the inspector's sampled actions from
+// a private RNG stream derived from (Seed, index), and summaries are
+// reduced in index order, so the result is identical for any worker count.
+//
+// The inspector runs in stochastic mode by default (inference mirrors
+// training, §3.2); set cfg.Greedy for argmax decisions. A nil inspector
+// evaluates the base policy against itself (useful for harness plumbing
+// tests).
 func Evaluate(insp *Inspector, cfg EvalConfig) (EvalResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Trace == nil || cfg.Policy == nil {
 		return EvalResult{}, fmt.Errorf("core: Evaluate needs Trace and Policy")
+	}
+	if cfg.Workers < 0 {
+		return EvalResult{}, fmt.Errorf("core: EvalConfig.Workers = %d, must be >= 0 (0 means one per CPU)", cfg.Workers)
 	}
 	lo := cfg.Trace.Split(cfg.TestFrom)
 	hi := cfg.Trace.Len() - cfg.SeqLen + 1
@@ -140,39 +172,76 @@ func Evaluate(insp *Inspector, cfg EvalConfig) (EvalResult, error) {
 		return EvalResult{}, fmt.Errorf("core: trace has %d jobs, need at least SeqLen=%d",
 			cfg.Trace.Len(), cfg.SeqLen)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	simCfg := sim.Config{
-		MaxProcs:      cfg.Trace.MaxProcs,
-		Policy:        cfg.Policy,
-		Backfill:      cfg.Backfill,
-		MaxInterval:   cfg.MaxInterval,
-		MaxRejections: cfg.MaxRejections,
-	}
-	var out EvalResult
-	for i := 0; i < cfg.Sequences; i++ {
-		jobs := cfg.Trace.RandomWindow(rng, cfg.SeqLen, lo, hi)
 
-		simCfg.Inspector = nil
+	workers := cfg.Workers
+	if workers > cfg.Sequences {
+		workers = cfg.Sequences
+	}
+	pols, ok := policyClones(cfg.Policy, workers)
+	if !ok {
+		workers = 1 // stateful, uncloneable policy: stay sequential
+	}
+	snaps := make([]*Inspector, workers)
+	if insp != nil {
+		for w := range snaps {
+			snaps[w] = insp.Clone(nil)
+		}
+	}
+
+	results := make([]evalSeqResult, cfg.Sequences)
+	busy, wall := runIndexed(workers, cfg.Sequences, func(w, i int) {
+		r := &results[i]
+		rng := streamRNG(cfg.Seed, streamEval, uint64(i))
+		jobs := cfg.Trace.RandomWindow(rng, cfg.SeqLen, lo, hi)
+		t0 := time.Now()
+		simCfg := sim.Config{
+			MaxProcs:      cfg.Trace.MaxProcs,
+			Policy:        pols[w],
+			Backfill:      cfg.Backfill,
+			MaxInterval:   cfg.MaxInterval,
+			MaxRejections: cfg.MaxRejections,
+		}
 		base, err := sim.Run(jobs, simCfg)
 		if err != nil {
-			return out, err
+			r.err = err
+			return
 		}
-		out.Base = append(out.Base, base.Summary(cfg.Trace.MaxProcs))
+		r.base = base.Summary(cfg.Trace.MaxProcs)
 
 		if insp != nil {
 			if cfg.Greedy {
-				simCfg.Inspector = insp.Greedy()
+				simCfg.Inspector = snaps[w].Greedy()
 			} else {
-				simCfg.Inspector = insp.Stochastic()
+				snaps[w].Agent.Reseed(rng)
+				simCfg.Inspector = snaps[w].Stochastic()
 			}
 		}
 		ins, err := sim.Run(jobs, simCfg)
 		if err != nil {
-			return out, err
+			r.err = err
+			return
 		}
-		out.Insp = append(out.Insp, ins.Summary(cfg.Trace.MaxProcs))
-		out.Inspections += ins.Inspections
-		out.Rejections += ins.Rejections
+		r.insp = ins.Summary(cfg.Trace.MaxProcs)
+		r.inspections = ins.Inspections
+		r.rejections = ins.Rejections
+		if cfg.Metrics != nil {
+			cfg.Metrics.TrajectorySeconds.Observe(time.Since(t0).Seconds())
+		}
+	})
+	cfg.Metrics.observeRollout(workers, busy.Seconds(), wall.Seconds())
+
+	var out EvalResult
+	out.Base = make([]metrics.Summary, 0, cfg.Sequences)
+	out.Insp = make([]metrics.Summary, 0, cfg.Sequences)
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			return EvalResult{}, r.err
+		}
+		out.Base = append(out.Base, r.base)
+		out.Insp = append(out.Insp, r.insp)
+		out.Inspections += r.inspections
+		out.Rejections += r.rejections
 	}
 	return out, nil
 }

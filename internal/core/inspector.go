@@ -48,6 +48,15 @@ func NewInspector(rng *rand.Rand, mode FeatureMode, norm Normalizer, hidden []in
 	}
 }
 
+// Clone returns a deep copy of the inspector whose sampling draws from rng —
+// the read-only policy snapshot each rollout worker owns. Both networks are
+// copied (via nn.MLP.Clone), so concurrent sampling from the clone can never
+// race with PPO updates to the original. rng may be nil for greedy-only use;
+// the rollout engine installs per-trajectory streams with Agent.Reseed.
+func (in *Inspector) Clone(rng *rand.Rand) *Inspector {
+	return &Inspector{Agent: in.Agent.Clone(rng), Mode: in.Mode, Norm: in.Norm}
+}
+
 // WithNormalizer returns a copy of the inspector bound to different trace
 // statistics — how a model trained on trace X is applied to trace Y
 // (Table 4). The underlying networks are shared, not copied.

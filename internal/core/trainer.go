@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -33,12 +34,26 @@ type TrainConfig struct {
 	MaxInterval   float64 // simulator retry cut-off (600 s)
 	MaxRejections int     // simulator per-job rejection cap (72)
 
+	// Workers is the rollout fan-out: trajectories per epoch are simulated
+	// on this many goroutines (0 = one per CPU). Any worker count produces
+	// bit-identical results — per-trajectory RNG streams are derived from
+	// (Seed, epoch, trajectory index), never from execution order.
+	Workers int
+
+	// BaselineCacheSize bounds the per-window baseline summary cache
+	// (0 = DefaultBaselineCacheSize).
+	BaselineCacheSize int
+
 	PPO rl.PPOConfig // optional PPO overrides (zero values take defaults)
 
 	// Logger, when non-nil, receives every epoch's statistics as soon as
 	// the PPO update completes — the telemetry hook behind the CSV/JSONL
 	// learning-curve exports (see NewCSVTrainLogger, NewJSONLTrainLogger).
 	Logger TrainLogger
+
+	// Metrics, when non-nil, receives worker-utilization, rollout-latency
+	// and baseline-cache observations (see NewRolloutMetrics).
+	Metrics *RolloutMetrics
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -60,10 +75,50 @@ func (c TrainConfig) withDefaults() TrainConfig {
 	if c.MaxRejections == 0 {
 		c.MaxRejections = sim.DefaultMaxRejections
 	}
+	if c.Workers == 0 {
+		c.Workers = resolveWorkers(0)
+	}
+	if c.BaselineCacheSize == 0 {
+		c.BaselineCacheSize = DefaultBaselineCacheSize
+	}
 	if c.PPO.LR == 0 {
 		c.PPO.LR = c.LR
 	}
 	return c
+}
+
+// validate rejects configurations that zero-defaulting would otherwise
+// silently accept. It runs after withDefaults, so a zero ("unset") field has
+// already taken its documented default and anything still out of range was
+// set deliberately — and wrongly.
+func (c TrainConfig) validate() error {
+	switch {
+	case c.SeqLen < 1:
+		return fmt.Errorf("core: TrainConfig.SeqLen = %d, must be >= 1 (0 means the default 128)", c.SeqLen)
+	case c.Batch < 1:
+		return fmt.Errorf("core: TrainConfig.Batch = %d, must be >= 1 (0 means the default 100)", c.Batch)
+	case c.LR < 0 || math.IsNaN(c.LR) || math.IsInf(c.LR, 0):
+		return fmt.Errorf("core: TrainConfig.LR = %v, must be positive and finite (0 means the default 1e-3)", c.LR)
+	case c.TrainFrac < 0 || c.TrainFrac > 1:
+		return fmt.Errorf("core: TrainConfig.TrainFrac = %v, must be in (0, 1] (0 means the default 0.2)", c.TrainFrac)
+	case c.MaxInterval < 0 || math.IsNaN(c.MaxInterval):
+		return fmt.Errorf("core: TrainConfig.MaxInterval = %v, must be positive (0 means the default %g)",
+			c.MaxInterval, sim.DefaultMaxInterval)
+	case c.MaxRejections < 0:
+		return fmt.Errorf("core: TrainConfig.MaxRejections = %d, must be >= 1 (0 means the default %d)",
+			c.MaxRejections, sim.DefaultMaxRejections)
+	case c.Workers < 0:
+		return fmt.Errorf("core: TrainConfig.Workers = %d, must be >= 0 (0 means one per CPU)", c.Workers)
+	case c.BaselineCacheSize < 0:
+		return fmt.Errorf("core: TrainConfig.BaselineCacheSize = %d, must be >= 0 (0 means the default %d)",
+			c.BaselineCacheSize, DefaultBaselineCacheSize)
+	}
+	for _, h := range c.Hidden {
+		if h < 1 {
+			return fmt.Errorf("core: TrainConfig.Hidden contains %d, layer sizes must be >= 1", h)
+		}
+	}
+	return nil
 }
 
 // EpochStats summarizes one training epoch — the quantities plotted in the
@@ -108,8 +163,9 @@ type Trainer struct {
 	rng   *rand.Rand
 	epoch int
 
-	trainLo, trainHi int                     // window-start range for training sequences
-	baseCache        map[int]metrics.Summary // baseline summaries keyed by window start
+	trainLo, trainHi int            // window-start range for training sequences
+	baseCache        *baselineCache // bounded baseline summaries keyed by window start
+	cacheSeen        [3]uint64      // last cache stats published to Metrics
 }
 
 // NewTrainer validates the configuration and builds a trainer with a fresh
@@ -121,6 +177,9 @@ func NewTrainer(cfg TrainConfig) (*Trainer, error) {
 	}
 	if cfg.Policy == nil {
 		return nil, fmt.Errorf("core: TrainConfig.Policy is required")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	if err := cfg.Trace.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -141,7 +200,7 @@ func NewTrainer(cfg TrainConfig) (*Trainer, error) {
 		rng:       rng,
 		trainLo:   0,
 		trainHi:   hi,
-		baseCache: make(map[int]metrics.Summary),
+		baseCache: newBaselineCache(cfg.BaselineCacheSize),
 	}, nil
 }
 
@@ -152,11 +211,12 @@ func (t *Trainer) Inspector() *Inspector { return t.insp }
 // Config returns the (defaulted) configuration.
 func (t *Trainer) Config() TrainConfig { return t.cfg }
 
-// simConfig builds the simulator configuration with the given inspector.
-func (t *Trainer) simConfig(insp sim.Inspector) sim.Config {
+// simConfig builds the simulator configuration with the given policy
+// instance and inspector.
+func (t *Trainer) simConfig(pol sched.Policy, insp sim.Inspector) sim.Config {
 	return sim.Config{
 		MaxProcs:      t.cfg.Trace.MaxProcs,
-		Policy:        t.cfg.Policy,
+		Policy:        pol,
 		Backfill:      t.cfg.Backfill,
 		Inspector:     insp,
 		MaxInterval:   t.cfg.MaxInterval,
@@ -165,53 +225,110 @@ func (t *Trainer) simConfig(insp sim.Inspector) sim.Config {
 }
 
 // baseline returns the uninspected summary of the window starting at start,
-// computing and caching it on first use.
-func (t *Trainer) baseline(start int) (metrics.Summary, error) {
-	if s, ok := t.baseCache[start]; ok {
-		return s, nil
-	}
-	jobs := t.cfg.Trace.Window(start, t.cfg.SeqLen)
-	res, err := sim.Run(jobs, t.simConfig(nil))
-	if err != nil {
-		return metrics.Summary{}, err
-	}
-	s := res.Summary(t.cfg.Trace.MaxProcs)
-	t.baseCache[start] = s
-	return s, nil
+// computing it (under pol, the calling worker's policy instance) and caching
+// it on first use. Concurrent callers hitting the same uncached window block
+// on a single computation.
+func (t *Trainer) baseline(start int, pol sched.Policy) (metrics.Summary, error) {
+	return t.baseCache.Get(start, func() (metrics.Summary, error) {
+		jobs := t.cfg.Trace.Window(start, t.cfg.SeqLen)
+		res, err := sim.Run(jobs, t.simConfig(pol, nil))
+		if err != nil {
+			return metrics.Summary{}, err
+		}
+		return res.Summary(t.cfg.Trace.MaxProcs), nil
+	})
 }
 
-// RunEpoch samples one batch of trajectories, performs a PPO update, and
-// returns the epoch statistics.
+// trajResult is one trajectory's contribution to the epoch, filled into its
+// index slot by whichever worker simulated it.
+type trajResult struct {
+	steps       []rl.Step
+	reward      float64
+	diff, pct   float64
+	inspections int
+	rejections  int
+	err         error
+}
+
+// rollout simulates trajectory b of the current epoch on the given policy
+// instance and inspector snapshot. All randomness — the window start and
+// every sampled action — comes from the trajectory's private RNG stream, so
+// the result is a pure function of (Seed, epoch, b).
+func (t *Trainer) rollout(b int, pol sched.Policy, snap *Inspector, out *trajResult) {
+	rng := streamRNG(t.cfg.Seed, streamTrain, uint64(t.epoch), uint64(b))
+	start := t.trainLo + rng.Intn(t.trainHi-t.trainLo)
+	t0 := time.Now()
+	orig, err := t.baseline(start, pol)
+	if err != nil {
+		out.err = err
+		return
+	}
+	jobs := t.cfg.Trace.Window(start, t.cfg.SeqLen)
+	snap.Agent.Reseed(rng)
+	var steps []rl.Step
+	res, err := sim.Run(jobs, t.simConfig(pol, snap.Sampling(&steps)))
+	if err != nil {
+		out.err = err
+		return
+	}
+	insp := res.Summary(t.cfg.Trace.MaxProcs)
+	out.steps = steps
+	out.reward = clampReward(Reward(t.cfg.RewardKind, t.cfg.Metric, orig, insp))
+	out.diff = orig.Of(t.cfg.Metric) - insp.Of(t.cfg.Metric)
+	if !t.cfg.Metric.Minimize() {
+		out.diff = -out.diff
+	}
+	out.pct = metrics.Improvement(t.cfg.Metric, orig, insp)
+	out.inspections = res.Inspections
+	out.rejections = res.Rejections
+	if t.cfg.Metrics != nil {
+		t.cfg.Metrics.TrajectorySeconds.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// RunEpoch samples one batch of trajectories — fanned out over
+// cfg.Workers goroutines, each holding a read-only snapshot of the current
+// policy — performs a PPO update, and returns the epoch statistics. Results
+// are reduced in trajectory-index order and every trajectory draws from its
+// own derived RNG stream, so the statistics, the PPO batch, and the trained
+// model are bit-identical for any worker count.
 func (t *Trainer) RunEpoch() (EpochStats, error) {
 	t.epoch++
 	t0 := time.Now()
 	stats := EpochStats{Epoch: t.epoch}
+
+	workers := t.cfg.Workers
+	if workers > t.cfg.Batch {
+		workers = t.cfg.Batch
+	}
+	pols, ok := policyClones(t.cfg.Policy, workers)
+	if !ok {
+		workers = 1 // stateful, uncloneable policy: stay sequential
+	}
+	snaps := make([]*Inspector, workers)
+	for w := range snaps {
+		snaps[w] = t.insp.Clone(nil)
+	}
+
+	results := make([]trajResult, t.cfg.Batch)
+	busy, wall := runIndexed(workers, t.cfg.Batch, func(w, b int) {
+		t.rollout(b, pols[w], snaps[w], &results[b])
+	})
+	t.cfg.Metrics.observeRollout(workers, busy.Seconds(), wall.Seconds())
+	t.cfg.Metrics.observeCache(t.baseCache, &t.cacheSeen)
+
 	batch := make([]rl.Trajectory, 0, t.cfg.Batch)
 	var inspections, rejections int
-	for b := 0; b < t.cfg.Batch; b++ {
-		start := t.trainLo + t.rng.Intn(t.trainHi-t.trainLo)
-		orig, err := t.baseline(start)
-		if err != nil {
-			return stats, err
+	for b := range results {
+		r := &results[b]
+		if r.err != nil {
+			return stats, r.err
 		}
-		jobs := t.cfg.Trace.Window(start, t.cfg.SeqLen)
-		var steps []rl.Step
-		res, err := sim.Run(jobs, t.simConfig(t.insp.Sampling(&steps)))
-		if err != nil {
-			return stats, err
-		}
-		insp := res.Summary(t.cfg.Trace.MaxProcs)
-		reward := clampReward(Reward(t.cfg.RewardKind, t.cfg.Metric, orig, insp))
-		batch = append(batch, rl.Trajectory{Steps: steps, Reward: reward})
-
-		diff := orig.Of(t.cfg.Metric) - insp.Of(t.cfg.Metric)
-		if !t.cfg.Metric.Minimize() {
-			diff = -diff
-		}
-		stats.MeanImprovement += diff
-		stats.MeanPctImprovement += metrics.Improvement(t.cfg.Metric, orig, insp)
-		inspections += res.Inspections
-		rejections += res.Rejections
+		batch = append(batch, rl.Trajectory{Steps: r.steps, Reward: r.reward})
+		stats.MeanImprovement += r.diff
+		stats.MeanPctImprovement += r.pct
+		inspections += r.inspections
+		rejections += r.rejections
 	}
 	n := float64(t.cfg.Batch)
 	stats.MeanImprovement /= n

@@ -35,7 +35,7 @@ func AblateInterval(o Options) error {
 	for _, interval := range []float64{60, 300, 600, 1800, 3600} {
 		trainer, err := core.NewTrainer(core.TrainConfig{
 			Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
-			SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1,
+			SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1, Workers: o.Workers,
 			MaxInterval: interval,
 		})
 		if err != nil {
@@ -46,7 +46,7 @@ func AblateInterval(o Options) error {
 		}
 		res, err := core.Evaluate(trainer.Inspector(), core.EvalConfig{
 			Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
-			Sequences: o.EvalSequences, SeqLen: o.EvalSeqLen, Seed: o.Seed + 2,
+			Sequences: o.EvalSequences, SeqLen: o.EvalSeqLen, Seed: o.Seed + 2, Workers: o.Workers,
 			MaxInterval: interval,
 		})
 		if err != nil {
@@ -73,7 +73,7 @@ func AblateRejectionCap(o Options) error {
 	for _, cap := range []int{4, 16, 72, 288} {
 		trainer, err := core.NewTrainer(core.TrainConfig{
 			Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
-			SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1,
+			SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1, Workers: o.Workers,
 			MaxRejections: cap,
 		})
 		if err != nil {
@@ -84,7 +84,7 @@ func AblateRejectionCap(o Options) error {
 		}
 		res, err := core.Evaluate(trainer.Inspector(), core.EvalConfig{
 			Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
-			Sequences: o.EvalSequences, SeqLen: o.EvalSeqLen, Seed: o.Seed + 2,
+			Sequences: o.EvalSequences, SeqLen: o.EvalSeqLen, Seed: o.Seed + 2, Workers: o.Workers,
 			MaxRejections: cap,
 		})
 		if err != nil {
@@ -115,7 +115,7 @@ func AblateCritic(o Options) error {
 		}
 		trainer, err := core.NewTrainer(core.TrainConfig{
 			Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
-			SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1,
+			SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1, Workers: o.Workers,
 			PPO: rl.PPOConfig{NoCritic: noCritic},
 		})
 		if err != nil {
@@ -163,7 +163,7 @@ func AblateBackfillVariant(o Options) error {
 	} {
 		trainer, err := core.NewTrainer(core.TrainConfig{
 			Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD, Backfill: v.backfill,
-			SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1,
+			SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1, Workers: o.Workers,
 		})
 		if err != nil {
 			return err
@@ -270,7 +270,7 @@ func RLSchedExperiment(o Options) error {
 	// Inspector on top of the frozen learned policy.
 	inspTrainer, err := core.NewTrainer(core.TrainConfig{
 		Trace: tr, Policy: pol, Metric: metrics.BSLD,
-		SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 3,
+		SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 3, Workers: o.Workers,
 	})
 	if err != nil {
 		return err
@@ -280,7 +280,7 @@ func RLSchedExperiment(o Options) error {
 	}
 	res, err := core.Evaluate(inspTrainer.Inspector(), core.EvalConfig{
 		Trace: tr, Policy: pol, Metric: metrics.BSLD,
-		Sequences: o.EvalSequences, SeqLen: o.EvalSeqLen, Seed: o.Seed + 4,
+		Sequences: o.EvalSequences, SeqLen: o.EvalSeqLen, Seed: o.Seed + 4, Workers: o.Workers,
 	})
 	if err != nil {
 		return err

@@ -26,7 +26,7 @@ func Cost(o Options) error {
 	}
 	trainer, err := core.NewTrainer(core.TrainConfig{
 		Trace: tr, Policy: mustPolicy(spec.policy), Metric: spec.metric,
-		SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1,
+		SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1, Workers: o.Workers,
 	})
 	if err != nil {
 		return err

@@ -32,6 +32,7 @@ type Options struct {
 	EvalSequences int   // sampled test sequences (default 30; paper 50)
 	EvalSeqLen    int   // jobs per test sequence (default 256)
 	Seed          int64 // base RNG seed
+	Workers       int   // rollout fan-out for training and evaluation (0 = one per CPU)
 	Out           io.Writer
 	Verbose       bool // print every training epoch instead of a summary curve
 }
@@ -183,7 +184,7 @@ func (o Options) trainUncached(spec trainSpec) (*core.Trainer, []core.EpochStats
 	trainer, err := core.NewTrainer(core.TrainConfig{
 		Trace: tr, Policy: pol, Metric: spec.metric,
 		RewardKind: spec.reward, FeatureMode: spec.features, Backfill: spec.backfill,
-		SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1,
+		SeqLen: o.SeqLen, Batch: o.Batch, Seed: o.Seed + 1, Workers: o.Workers,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -211,6 +212,7 @@ func (o Options) evalConfig(tr *workload.Trace, spec trainSpec) (core.EvalConfig
 	return core.EvalConfig{
 		Trace: tr, Policy: pol, Metric: spec.metric, Backfill: spec.backfill,
 		Sequences: o.EvalSequences, SeqLen: o.EvalSeqLen, Seed: o.Seed + 2,
+		Workers: o.Workers,
 	}, nil
 }
 

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// with builds a Summary carrying v in metric m's slot.
+func with(m Metric, v float64) Summary {
+	var s Summary
+	switch m {
+	case BSLD:
+		s.AvgBSLD = v
+	case Wait:
+		s.AvgWait = v
+	case MBSLD:
+		s.MaxBSLD = v
+	case Util:
+		s.Util = v
+	}
+	return s
+}
+
+func TestImprovementEdgeCases(t *testing.T) {
+	cases := []struct {
+		name       string
+		m          Metric
+		orig, insp float64
+		want       float64
+	}{
+		// Healthy baselines: plain percentages.
+		{"minimize win", Wait, 100, 80, 0.2},
+		{"minimize loss", Wait, 100, 125, -0.25},
+		{"maximize win", Util, 0.5, 0.6, 0.2},
+		{"maximize loss", Util, 0.5, 0.4, -0.2},
+
+		// Exact-zero baselines: the historical sentinel behavior.
+		{"zero baseline, zero result", Wait, 0, 0, 0},
+		{"zero baseline, worse result", Wait, 0, 10, -1},
+		{"zero util baseline, better result", Util, 0, 0.3, 1},
+
+		// Near-zero baselines: previously divided through and exploded;
+		// must now degrade to the same sentinels.
+		{"tiny baseline, tiny result", Wait, 1e-12, 1e-13, 0},
+		{"tiny baseline, real result", Wait, 1e-12, 50, -1},
+		{"tiny negative baseline", Wait, -1e-12, 50, -1},
+		{"tiny util baseline, real result", Util, 1e-15, 0.4, 1},
+
+		// Just above the guard: the percentage path still applies.
+		{"threshold baseline", Wait, 2e-9, 1e-9, 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Improvement(tc.m, with(tc.m, tc.orig), with(tc.m, tc.insp))
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Improvement(%v, %v, %v) = %v, want %v", tc.m, tc.orig, tc.insp, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestImprovementBounded pins the regression: a denominator of floating-point
+// dust must never blow the "percentage" past the sentinel range when the
+// inspected value is ordinary.
+func TestImprovementBounded(t *testing.T) {
+	for _, orig := range []float64{1e-10, 1e-12, 1e-15, -1e-10} {
+		got := Improvement(Wait, with(Wait, orig), with(Wait, 30))
+		if math.Abs(got) > 1 {
+			t.Errorf("baseline %v produced improvement %v, escaped [-1, 1]", orig, got)
+		}
+	}
+}

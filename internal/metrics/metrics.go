@@ -147,14 +147,25 @@ func Compute(results []JobResult, maxProcs int) Summary {
 	return s
 }
 
+// tinyBaseline guards Improvement's denominator. An exactly-zero baseline
+// already fell back to the ±1 sentinel, but a merely tiny one (e.g. an
+// average wait of 1e-12 s from floating-point dust) would divide through
+// and blow the "percentage" up to astronomic magnitudes — spiking the
+// MeanPctImprovement telemetry and the percentage reward. Baselines below
+// this threshold are treated as zero.
+const tinyBaseline = 1e-9
+
 // Improvement returns how much better "insp" is than "orig" on metric m, as
 // the paper's percentage reward defines it: positive means the inspected run
 // wins. For minimized metrics it is (orig-insp)/orig; for util, the sign
-// flips.
+// flips. A zero or near-zero baseline (|orig| < 1e-9) cannot anchor a
+// percentage, so the result degrades to a win/loss sentinel: 0 when the
+// inspected value is also (near) zero, otherwise ±1 by whether it beat the
+// baseline.
 func Improvement(m Metric, orig, insp Summary) float64 {
 	o, i := orig.Of(m), insp.Of(m)
-	if o == 0 {
-		if i == 0 {
+	if math.Abs(o) < tinyBaseline {
+		if math.Abs(i) < tinyBaseline {
 			return 0
 		}
 		if m.Minimize() {

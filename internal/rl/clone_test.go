@@ -1,0 +1,57 @@
+package rl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAgentCloneIndependence checks the snapshot property the parallel
+// rollout engine relies on: a clone keeps producing the original's outputs
+// even while the original is being optimized, and owns its scratch buffers.
+func TestAgentCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewAgent(rng, 3, []int{8}, 2)
+	obs := []float64{0.2, -0.5, 0.9}
+
+	clone := a.Clone(rand.New(rand.NewSource(2)))
+	wantAct := a.Greedy(obs)
+	wantProb := a.ActionProb(obs, wantAct)
+	wantVal := a.StateValue(obs)
+
+	// Mutate the original's weights, as a PPO update would.
+	for _, w := range a.Policy.W {
+		for i := range w {
+			w[i] += 0.7
+		}
+	}
+	for _, b := range a.Value.B {
+		for i := range b {
+			b[i] -= 1.3
+		}
+	}
+
+	if got := clone.ActionProb(obs, wantAct); got != wantProb {
+		t.Errorf("clone action prob drifted after original update: %v != %v", got, wantProb)
+	}
+	if got := clone.StateValue(obs); got != wantVal {
+		t.Errorf("clone state value drifted after original update: %v != %v", got, wantVal)
+	}
+
+	// The clone samples from its own stream without touching the original's.
+	if act, _ := clone.Sample(obs); act < 0 || act > 1 {
+		t.Errorf("clone sampled out-of-range action %d", act)
+	}
+
+	// Reseed makes two clones of the same agent draw identical actions.
+	c1 := a.Clone(nil)
+	c2 := a.Clone(nil)
+	c1.Reseed(rand.New(rand.NewSource(9)))
+	c2.Reseed(rand.New(rand.NewSource(9)))
+	for i := 0; i < 20; i++ {
+		a1, l1 := c1.Sample(obs)
+		a2, l2 := c2.Sample(obs)
+		if a1 != a2 || l1 != l2 {
+			t.Fatalf("reseeded clones diverged at draw %d: (%d, %v) vs (%d, %v)", i, a1, l1, a2, l2)
+		}
+	}
+}

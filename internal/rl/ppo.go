@@ -60,6 +60,25 @@ func NewAgent(rng *rand.Rand, obsDim int, hidden []int, nActions int) *Agent {
 	}
 }
 
+// Clone returns an agent with deep-copied networks, private scratch
+// buffers, and rng as its sampling stream — the read-only policy snapshot a
+// rollout worker owns, which later optimizer steps on the original can
+// never race with. rng may be nil when only Greedy, ActionProb or
+// StateValue will be called; install one later with Reseed.
+func (a *Agent) Clone(rng *rand.Rand) *Agent {
+	return &Agent{
+		Policy: a.Policy.Clone(),
+		Value:  a.Value.Clone(),
+		rng:    rng,
+		probs:  make([]float64, len(a.probs)),
+	}
+}
+
+// Reseed replaces the agent's sampling stream. The rollout engine uses it to
+// hand every trajectory its own deterministic RNG derived from
+// (seed, epoch, trajectory index).
+func (a *Agent) Reseed(rng *rand.Rand) { a.rng = rng }
+
 // Sample draws an action from the current policy and returns it with its
 // log-probability.
 func (a *Agent) Sample(obs []float64) (action int, logp float64) {

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"schedinspector/internal/nn"
+	"schedinspector/internal/sched"
 	"schedinspector/internal/workload"
 )
 
@@ -119,6 +120,24 @@ func New(rng *rand.Rand, norm Norm, hidden []int) *Policy {
 
 // Name implements sched.Policy.
 func (p *Policy) Name() string { return "RLSched" }
+
+// ClonePolicy implements sched.Cloner for frozen (argmax) use: the copy
+// shares the trained networks — read-only in Forward — but owns every
+// scratch buffer and the per-run Select state. A policy in sampling or
+// recording mode cannot be copied safely (clones would race on the shared
+// RNG and step recorder), so ClonePolicy returns nil then and callers fall
+// back to sequential simulation.
+func (p *Policy) ClonePolicy() sched.Policy {
+	if p.sampling || p.rec != nil {
+		return nil
+	}
+	return &Policy{
+		Kernel: p.Kernel,
+		Value:  p.Value,
+		Norm:   p.Norm,
+		feat:   make([]float64, kernelFeatures),
+	}
+}
 
 // SetSampling toggles softmax exploration (training) vs argmax (greedy).
 func (p *Policy) SetSampling(on bool, rec *[]Step) {

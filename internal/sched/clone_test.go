@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"testing"
+
+	"schedinspector/internal/workload"
+)
+
+func cloneTestTrace() *workload.Trace {
+	return &workload.Trace{
+		Name:     "clone-test",
+		MaxProcs: 64,
+		Jobs: []workload.Job{
+			{ID: 1, User: 1, Queue: 0, Submit: 0, Run: 100, Est: 120, Procs: 8},
+			{ID: 2, User: 2, Queue: 1, Submit: 10, Run: 200, Est: 240, Procs: 16},
+			{ID: 3, User: 1, Queue: 0, Submit: 20, Run: 50, Est: 60, Procs: 4},
+		},
+	}
+}
+
+// TestSlurmClonePolicy checks the property the parallel rollout engine needs
+// from a stateful policy: clones share the precomputed trace shares but own
+// their per-run usage accounting, so one simulation's fairshare billing
+// never leaks into another's priorities.
+func TestSlurmClonePolicy(t *testing.T) {
+	tr := cloneTestTrace()
+	orig := NewSlurm(tr)
+	clone, ok := orig.ClonePolicy().(*Slurm)
+	if !ok {
+		t.Fatal("ClonePolicy did not return a *Slurm")
+	}
+	if clone == orig {
+		t.Fatal("ClonePolicy returned the same instance")
+	}
+
+	j := &tr.Jobs[0]
+	before := clone.Priority(j, 1000)
+	if got := orig.Priority(j, 1000); got != before {
+		t.Fatalf("fresh clone disagrees with original: %v vs %v", got, before)
+	}
+
+	// Billing usage on the original must not change the clone's priorities,
+	// and vice versa.
+	orig.ObserveStart(j, 0)
+	if got := clone.Priority(j, 1000); got != before {
+		t.Errorf("original's usage leaked into clone: %v != %v", got, before)
+	}
+	if got := orig.Priority(j, 1000); got == before {
+		t.Error("usage billing had no effect on the original's fairshare")
+	}
+	clone.ObserveStart(j, 0)
+	clone.ObserveStart(j, 0)
+	if got, want := orig.Priority(j, 1000), clone.Priority(j, 1000); got == want {
+		t.Error("clone's usage leaked back into the original")
+	}
+
+	// Reset restores both to identical fresh-run state.
+	orig.Reset()
+	clone.Reset()
+	if a, b := orig.Priority(j, 1000), clone.Priority(j, 1000); a != b || a != before {
+		t.Errorf("after Reset priorities differ: orig %v, clone %v, fresh %v", a, b, before)
+	}
+}

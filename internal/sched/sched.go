@@ -45,6 +45,17 @@ type Resetter interface {
 	Reset()
 }
 
+// Cloner is implemented by stateful policies that can hand out independent
+// copies for concurrent simulation runs: the copy shares read-only data
+// (trained weights, precomputed shares) but owns all mutable state.
+// ClonePolicy returns nil when the policy is in a mode that cannot be
+// copied safely (e.g. recording training samples); callers must then fall
+// back to sequential use. Stateless policies need not implement this —
+// they are shared as-is.
+type Cloner interface {
+	ClonePolicy() Policy
+}
+
 type simple struct {
 	name  string
 	score func(j *workload.Job, now float64) float64

@@ -122,3 +122,12 @@ func (s *Slurm) Reset() {
 		delete(s.usage, u)
 	}
 }
+
+// ClonePolicy implements Cloner: the copy shares the precomputed trace
+// shares (read-only after NewSlurm) but owns its per-run usage accounting,
+// so concurrent simulations never race.
+func (s *Slurm) ClonePolicy() Policy {
+	c := *s
+	c.usage = make(map[int]float64, len(s.usage))
+	return &c
+}

@@ -103,6 +103,10 @@ type (
 	// TrainLogger receives per-epoch training telemetry
 	// (set TrainConfig.Logger).
 	TrainLogger = core.TrainLogger
+	// RolloutMetrics publishes rollout-engine gauges and histograms
+	// (worker utilization, trajectory latency, baseline-cache traffic)
+	// into a MetricsRegistry. Set TrainConfig.Metrics / EvalConfig.Metrics.
+	RolloutMetrics = core.RolloutMetrics
 )
 
 // Metrics.
@@ -228,6 +232,10 @@ func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewRolloutMetrics registers the rollout-engine instruments on r and
+// returns the bundle to set on TrainConfig.Metrics or EvalConfig.Metrics.
+func NewRolloutMetrics(r *MetricsRegistry) *RolloutMetrics { return core.NewRolloutMetrics(r) }
 
 // NewCSVTrainLogger writes per-epoch training telemetry to w as CSV (one
 // header row, then one row per epoch).
