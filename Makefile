@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-short race bench verify
+.PHONY: all build vet fmt-check test test-short race bench bench-env equiv verify
 
 all: build
 
@@ -32,7 +32,19 @@ race:
 	$(GO) test -race ./internal/obs/ ./internal/serve/
 	$(GO) test -race -short ./internal/core/ ./internal/rl/ ./internal/sim/
 
-bench:
+bench: bench-env
 	$(GO) test -bench=. -benchmem .
+
+# bench-env runs the Env-core benchmarks (steppable simulator vs the
+# preserved seed engine) and archives the parsed results in BENCH_env.json.
+bench-env:
+	$(GO) test -run '^$$' -bench 'EnvInspected|LegacyInspected' -benchmem ./internal/sim/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_env.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEnvStep$$' -benchmem .
+
+# equiv runs the golden equivalence suites that pin the Env/wave engines to
+# the verbatim seed implementations, bit for bit, under the race detector.
+equiv:
+	$(GO) test -race -run 'Equiv' -count=1 ./internal/sim/ ./internal/core/
 
 verify: build vet fmt-check race test

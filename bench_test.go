@@ -122,6 +122,43 @@ func BenchmarkSimulator(b *testing.B) {
 	}
 }
 
+// BenchmarkEnvStep measures the per-decision cost of the steppable Env
+// core: one interactive 256-job episode per iteration on a reused
+// environment, with a deterministic decision rule answering every yield.
+// Steady state must be allocation-free (TestEnvStepAllocs in internal/sim
+// pins it at exactly zero); the ns/decision metric is the figure the
+// rollout drivers pay per scheduling decision.
+func BenchmarkEnvStep(b *testing.B) {
+	tr := workload.SDSCSP2Like(4000, 7)
+	jobs := tr.Window(100, 256)
+	cfg := sim.Config{MaxProcs: tr.MaxProcs, Policy: sched.SJF(), Backfill: true}
+	if err := sim.ValidateJobs(jobs, cfg.MaxProcs); err != nil {
+		b.Fatal(err)
+	}
+	cfg.NoValidate = true
+	env := sim.NewEnv()
+	episode := func() int {
+		st, done, err := env.Reset(jobs, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		decisions := 0
+		for !done {
+			decisions++
+			st, done = env.Step(st.Rejections < 2 && st.Job.ID%5 == 0)
+		}
+		return decisions
+	}
+	episode() // warm up the reusable buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	decisions := 0
+	for i := 0; i < b.N; i++ {
+		decisions += episode()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(decisions), "ns/decision")
+}
+
 // BenchmarkSimulatorNilTracer is BenchmarkSimulator with the Tracer field
 // explicitly nil: the guard for the tracing fast path. Disabled tracing is
 // one nil check per event site, so this must stay within noise of
@@ -274,6 +311,24 @@ func TestFacadeSimAndSWF(t *testing.T) {
 	}
 	if len(res.Results) != 50 {
 		t.Fatalf("simulated %d of 50", len(res.Results))
+	}
+	// The steppable facade: the same window driven decision by decision
+	// through SimEnv must reproduce the straight-through run, and
+	// SimulateEnv must match on a reused environment.
+	env := insp.NewSimEnv()
+	cfg := insp.SimConfig{MaxProcs: tr.MaxProcs, Policy: insp.SJF(), Backfill: true}
+	_, done, err := env.Reset(tr.Window(0, 50), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !done {
+		_, done = env.Step(false) // accept everything = the base schedule
+	}
+	envSum := env.Result().Summary(tr.MaxProcs)
+	if again, err := insp.SimulateEnv(env, tr.Window(0, 50), cfg); err != nil {
+		t.Fatal(err)
+	} else if got := again.Summary(tr.MaxProcs); got != envSum {
+		t.Fatalf("SimulateEnv summary %+v != stepped env %+v", got, envSum)
 	}
 	path := t.TempDir() + "/t.swf.gz"
 	f, err := os.Create(path)

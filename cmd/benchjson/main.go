@@ -1,0 +1,107 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so benchmark results can be archived and diffed across commits
+// (the `make bench` target pipes the Env benchmarks through it into
+// BENCH_env.json).
+//
+// Usage:
+//
+//	go test -bench 'Env' -benchmem . | benchjson -o BENCH_env.json
+//
+// Input lines it does not recognize (goos/pkg headers, PASS, timings) pass
+// through to stderr unchanged so the human-readable output stays visible.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`       // without the Benchmark prefix and -P suffix
+	Procs      int                `json:"procs"`      // GOMAXPROCS suffix (1 if absent)
+	Iterations int64              `json:"iterations"` // b.N
+	Metrics    map[string]float64 `json:"metrics"`    // unit -> value (ns/op, allocs/op, ...)
+}
+
+// Report is the emitted document.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkEnvStep-8   16825   71833 ns/op   362.8 ns/decision   0 B/op   0 allocs/op
+//
+// Returns ok=false for anything that is not a benchmark result.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 1
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func run(out string) error {
+	var rep Report
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if b, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+		fmt.Fprintln(os.Stderr, line) // keep the human-readable stream
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -21,7 +21,7 @@ import (
 func buildAll(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"tracegen", "schedinspect", "inspectord", "expreport"} {
+	for _, name := range []string{"tracegen", "schedinspect", "inspectord", "expreport", "benchjson"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./"+name)
 		cmd.Dir = mustSelfDir(t)
@@ -52,6 +52,69 @@ func run(t *testing.T, bin string, args ...string) string {
 		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, buf.String())
 	}
 	return buf.String()
+}
+
+// TestBenchJSON pipes canned `go test -bench` output through benchjson and
+// checks the emitted document.
+func TestBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "benchjson")
+	build := exec.Command("go", "build", "-o", bin, "./benchjson")
+	build.Dir = mustSelfDir(t)
+	if b, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build benchjson: %v\n%s", err, b)
+	}
+	out := filepath.Join(dir, "bench.json")
+	cmd := exec.Command(bin, "-o", out)
+	cmd.Stdin = strings.NewReader(`goos: linux
+goarch: amd64
+pkg: schedinspector
+BenchmarkEnvStep-8   	   16825	     71833 ns/op	       362.8 ns/decision	       0 B/op	       0 allocs/op
+BenchmarkSimulator 	    9423	    121741 ns/op
+PASS
+ok  	schedinspector	1.949s
+`)
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("benchjson: %v\n%s", err, b)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Benchmarks []struct {
+			Name       string             `json:"name"`
+			Procs      int                `json:"procs"`
+			Iterations int64              `json:"iterations"`
+			Metrics    map[string]float64 `json:"metrics"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, raw)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2:\n%s", len(rep.Benchmarks), raw)
+	}
+	env := rep.Benchmarks[0]
+	if env.Name != "EnvStep" || env.Procs != 8 || env.Iterations != 16825 {
+		t.Errorf("EnvStep parsed as %+v", env)
+	}
+	if env.Metrics["ns/decision"] != 362.8 || env.Metrics["allocs/op"] != 0 {
+		t.Errorf("EnvStep metrics %+v", env.Metrics)
+	}
+	if sim := rep.Benchmarks[1]; sim.Name != "Simulator" || sim.Procs != 1 ||
+		sim.Metrics["ns/op"] != 121741 {
+		t.Errorf("Simulator parsed as %+v", sim)
+	}
+	// empty input is an error, not an empty document
+	cmd = exec.Command(bin)
+	cmd.Stdin = strings.NewReader("PASS\n")
+	if err := cmd.Run(); err == nil {
+		t.Error("benchjson accepted input with no benchmarks")
+	}
 }
 
 func TestCLIEndToEnd(t *testing.T) {
@@ -173,6 +236,28 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	if verdict.RejectProb < 0 || verdict.RejectProb > 1 {
 		t.Fatalf("reject prob %v", verdict.RejectProb)
+	}
+
+	// /v1/simulate: a what-if schedule driven by the served model.
+	simBody := `{"policy":"SJF","backfill":true,"max_procs":64,"inspector":"greedy",
+		"jobs":[{"submit":0,"run":600,"est":900,"procs":48},
+		        {"submit":10,"run":300,"est":400,"procs":32},
+		        {"submit":20,"run":100,"est":120,"procs":8}]}`
+	resp, err = http.Post("http://127.0.0.1:18642/v1/simulate", "application/json", strings.NewReader(simBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simResp struct {
+		Jobs        int     `json:"jobs"`
+		Inspections int     `json:"inspections"`
+		Makespan    float64 `json:"makespan"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&simResp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if simResp.Jobs != 3 || simResp.Makespan <= 0 {
+		t.Fatalf("simulate response unexpected: %+v", simResp)
 	}
 
 	// /metrics reflects the traffic served so far.

@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"time"
 
 	"schedinspector/internal/metrics"
+	"schedinspector/internal/rollout"
 	"schedinspector/internal/sched"
 	"schedinspector/internal/sim"
 	"schedinspector/internal/stats"
@@ -56,7 +56,7 @@ func (c EvalConfig) withDefaults() EvalConfig {
 		c.MaxRejections = sim.DefaultMaxRejections
 	}
 	if c.Workers == 0 {
-		c.Workers = resolveWorkers(0)
+		c.Workers = rollout.ResolveWorkers(0)
 	}
 	return c
 }
@@ -133,22 +133,15 @@ func (r EvalResult) RejectionRatio() float64 {
 	return float64(r.Rejections) / float64(r.Inspections)
 }
 
-// evalSeqResult is one sequence's paired outcome, filled into its index
-// slot by whichever worker ran it.
-type evalSeqResult struct {
-	base, insp  metrics.Summary
-	inspections int
-	rejections  int
-	err         error
-}
-
 // Evaluate schedules cfg.Sequences randomly sampled test sequences twice —
 // with the base policy alone and with the inspector on top — and returns
-// the paired summaries. Sequences fan out over cfg.Workers goroutines, each
-// holding read-only clones of the inspector and (when stateful) the policy;
-// every sequence draws its window and the inspector's sampled actions from
-// a private RNG stream derived from (Seed, index), and summaries are
-// reduced in index order, so the result is identical for any worker count.
+// the paired summaries. Both arms of every sequence are submitted to the
+// rollout driver as one batch of 2*Sequences episodes: the uninspected arms
+// run straight through, while the inspected arms step concurrently with the
+// inspector's policy forwarded once per decision wave. Every sequence draws
+// its window and the inspector's sampled actions from a private RNG stream
+// derived from (Seed, index), and summaries are reduced in index order, so
+// the result is identical for any worker count and wave composition.
 //
 // The inspector runs in stochastic mode by default (inference mirrors
 // training, §3.2); set cfg.Greedy for argmax decisions. A nil inspector
@@ -162,6 +155,9 @@ func Evaluate(insp *Inspector, cfg EvalConfig) (EvalResult, error) {
 	if cfg.Workers < 0 {
 		return EvalResult{}, fmt.Errorf("core: EvalConfig.Workers = %d, must be >= 0 (0 means one per CPU)", cfg.Workers)
 	}
+	if err := cfg.Trace.Validate(); err != nil {
+		return EvalResult{}, fmt.Errorf("core: %w", err)
+	}
 	lo := cfg.Trace.Split(cfg.TestFrom)
 	hi := cfg.Trace.Len() - cfg.SeqLen + 1
 	if hi <= lo {
@@ -173,75 +169,73 @@ func Evaluate(insp *Inspector, cfg EvalConfig) (EvalResult, error) {
 			cfg.Trace.Len(), cfg.SeqLen)
 	}
 
+	n := cfg.Sequences
 	workers := cfg.Workers
-	if workers > cfg.Sequences {
-		workers = cfg.Sequences
+	if workers > n {
+		workers = n
 	}
-	pols, ok := policyClones(cfg.Policy, workers)
+	// Slots 0..n-1 are the uninspected arms, n..2n-1 the inspected ones.
+	// Concurrent episodes each need a private stateful-policy instance; an
+	// uncloneable one forces the driver's sequential mode.
+	pols, ok := rollout.PolicyClones(cfg.Policy, 2*n)
 	if !ok {
-		workers = 1 // stateful, uncloneable policy: stay sequential
+		workers = 1
 	}
-	snaps := make([]*Inspector, workers)
-	if insp != nil {
-		for w := range snaps {
-			snaps[w] = insp.Clone(nil)
+	pol := func(slot int) sched.Policy {
+		if len(pols) > 1 {
+			return pols[slot]
 		}
+		return pols[0]
 	}
 
-	results := make([]evalSeqResult, cfg.Sequences)
-	busy, wall := runIndexed(workers, cfg.Sequences, func(w, i int) {
-		r := &results[i]
-		rng := streamRNG(cfg.Seed, streamEval, uint64(i))
-		jobs := cfg.Trace.RandomWindow(rng, cfg.SeqLen, lo, hi)
-		t0 := time.Now()
-		simCfg := sim.Config{
+	rngs := make([]*rand.Rand, 2*n)
+	episodes := make([]rollout.Episode, 2*n)
+	mkCfg := func(slot int) sim.Config {
+		return sim.Config{
 			MaxProcs:      cfg.Trace.MaxProcs,
-			Policy:        pols[w],
+			Policy:        pol(slot),
 			Backfill:      cfg.Backfill,
 			MaxInterval:   cfg.MaxInterval,
 			MaxRejections: cfg.MaxRejections,
+			NoValidate:    true, // windows of the trace validated above
 		}
-		base, err := sim.Run(jobs, simCfg)
-		if err != nil {
-			r.err = err
-			return
+	}
+	for i := 0; i < n; i++ {
+		// The sequence's stream draws the window first; the remainder
+		// drives the inspected arm's action sampling.
+		rng := streamRNG(cfg.Seed, streamEval, uint64(i))
+		jobs := cfg.Trace.RandomWindow(rng, cfg.SeqLen, lo, hi)
+		rngs[n+i] = rng
+		episodes[i] = rollout.Episode{Jobs: jobs, Cfg: mkCfg(i)}
+		episodes[n+i] = rollout.Episode{Jobs: jobs, Cfg: mkCfg(n + i), Interactive: insp != nil}
+	}
+	var decide rollout.Decide
+	if insp != nil {
+		if cfg.Greedy {
+			rngs = nil // argmax decisions consume no randomness
 		}
-		r.base = base.Summary(cfg.Trace.MaxProcs)
+		decide = newWaveSampler(insp.Clone(nil), rngs, 0, false).decide
+	}
 
-		if insp != nil {
-			if cfg.Greedy {
-				simCfg.Inspector = snaps[w].Greedy()
-			} else {
-				snaps[w].Agent.Reseed(rng)
-				simCfg.Inspector = snaps[w].Stochastic()
-			}
+	results, rep, err := rollout.Run(episodes, rollout.Config{Workers: workers, Decide: decide})
+	cfg.Metrics.observeRollout(workers, rep.Busy.Seconds(), rep.Wall.Seconds())
+	if cfg.Metrics != nil {
+		for i := 0; i < n; i++ {
+			cfg.Metrics.TrajectorySeconds.Observe(rep.EpisodeSeconds[i] + rep.EpisodeSeconds[n+i])
 		}
-		ins, err := sim.Run(jobs, simCfg)
-		if err != nil {
-			r.err = err
-			return
-		}
-		r.insp = ins.Summary(cfg.Trace.MaxProcs)
-		r.inspections = ins.Inspections
-		r.rejections = ins.Rejections
-		if cfg.Metrics != nil {
-			cfg.Metrics.TrajectorySeconds.Observe(time.Since(t0).Seconds())
-		}
-	})
-	cfg.Metrics.observeRollout(workers, busy.Seconds(), wall.Seconds())
+	}
+	if err != nil {
+		return EvalResult{}, err
+	}
 
 	var out EvalResult
-	out.Base = make([]metrics.Summary, 0, cfg.Sequences)
-	out.Insp = make([]metrics.Summary, 0, cfg.Sequences)
-	for i := range results {
-		r := &results[i]
-		if r.err != nil {
-			return EvalResult{}, r.err
-		}
-		out.Base = append(out.Base, r.base)
-		out.Insp = append(out.Insp, r.insp)
-		out.Inspections += r.inspections
-		out.Rejections += r.rejections
+	out.Base = make([]metrics.Summary, 0, n)
+	out.Insp = make([]metrics.Summary, 0, n)
+	for i := 0; i < n; i++ {
+		out.Base = append(out.Base, results[i].Summary(cfg.Trace.MaxProcs))
+		out.Insp = append(out.Insp, results[n+i].Summary(cfg.Trace.MaxProcs))
+		out.Inspections += results[n+i].Inspections
+		out.Rejections += results[n+i].Rejections
 	}
 	return out, nil
 }

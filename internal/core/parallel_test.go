@@ -14,6 +14,7 @@ import (
 	"schedinspector/internal/metrics"
 	"schedinspector/internal/obs"
 	"schedinspector/internal/rlsched"
+	"schedinspector/internal/rollout"
 	"schedinspector/internal/sched"
 	"schedinspector/internal/workload"
 )
@@ -274,7 +275,7 @@ func TestPolicyClones(t *testing.T) {
 	// uncomparable struct, so assert sharing through behavior: every slot is
 	// populated with a working policy).
 	sjf := sched.SJF()
-	pols, ok := policyClones(sjf, 4)
+	pols, ok := rollout.PolicyClones(sjf, 4)
 	if !ok || len(pols) != 4 {
 		t.Fatalf("stateless: ok=%v len=%d", ok, len(pols))
 	}
@@ -287,7 +288,7 @@ func TestPolicyClones(t *testing.T) {
 	// Cloneable stateful policies get one private instance per worker.
 	tr := workload.SDSCSP2Like(500, 2)
 	slurm := sched.NewSlurm(tr)
-	pols, ok = policyClones(slurm, 3)
+	pols, ok = rollout.PolicyClones(slurm, 3)
 	if !ok || len(pols) != 3 {
 		t.Fatalf("slurm: ok=%v len=%d", ok, len(pols))
 	}
@@ -299,24 +300,24 @@ func TestPolicyClones(t *testing.T) {
 	}
 
 	// Stateful without Cloner: sequential fallback.
-	if pols, ok = policyClones(statefulNoClone{sched.SJF()}, 4); ok || len(pols) != 1 {
+	if pols, ok = rollout.PolicyClones(statefulNoClone{sched.SJF()}, 4); ok || len(pols) != 1 {
 		t.Errorf("stateful non-cloner: ok=%v len=%d, want fallback", ok, len(pols))
 	}
 
 	// rlsched in sampling mode declines to clone: sequential fallback.
 	rp := rlsched.New(rand.New(rand.NewSource(1)), rlsched.NormForTrace(tr), nil)
 	rp.SetSampling(true, &[]rlsched.Step{})
-	if pols, ok = policyClones(rp, 4); ok || len(pols) != 1 {
+	if pols, ok = rollout.PolicyClones(rp, 4); ok || len(pols) != 1 {
 		t.Errorf("sampling rlsched: ok=%v len=%d, want fallback", ok, len(pols))
 	}
 	// ...but clones fine outside sampling mode.
 	rp.SetSampling(false, nil)
-	if pols, ok = policyClones(rp, 2); !ok || len(pols) != 2 || pols[0] == pols[1] {
+	if pols, ok = rollout.PolicyClones(rp, 2); !ok || len(pols) != 2 || pols[0] == pols[1] {
 		t.Errorf("plain rlsched: ok=%v len=%d", ok, len(pols))
 	}
 
 	// One worker never needs clones, whatever the policy.
-	if pols, ok = policyClones(statefulNoClone{sched.SJF()}, 1); !ok || len(pols) != 1 {
+	if pols, ok = rollout.PolicyClones(statefulNoClone{sched.SJF()}, 1); !ok || len(pols) != 1 {
 		t.Errorf("single worker: ok=%v len=%d", ok, len(pols))
 	}
 }
@@ -369,7 +370,7 @@ func TestRunIndexed(t *testing.T) {
 	for _, workers := range []int{1, 3, 8} {
 		var sum atomic.Int64
 		seen := make([]atomic.Bool, 20)
-		busy, wall := runIndexed(workers, 20, func(w, i int) {
+		busy, wall := rollout.RunIndexed(workers, 20, func(w, i int) {
 			if w < 0 || w >= workers {
 				t.Errorf("worker id %d out of range", w)
 			}
@@ -385,7 +386,7 @@ func TestRunIndexed(t *testing.T) {
 			t.Errorf("negative durations: busy=%v wall=%v", busy, wall)
 		}
 	}
-	if busy, wall := runIndexed(4, 0, func(int, int) { t.Error("fn called for n=0") }); busy != 0 || wall != 0 {
+	if busy, wall := rollout.RunIndexed(4, 0, func(int, int) { t.Error("fn called for n=0") }); busy != 0 || wall != 0 {
 		t.Error("n=0 reported nonzero durations")
 	}
 }

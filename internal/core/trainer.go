@@ -8,6 +8,7 @@ import (
 
 	"schedinspector/internal/metrics"
 	"schedinspector/internal/rl"
+	"schedinspector/internal/rollout"
 	"schedinspector/internal/sched"
 	"schedinspector/internal/sim"
 	"schedinspector/internal/workload"
@@ -76,7 +77,7 @@ func (c TrainConfig) withDefaults() TrainConfig {
 		c.MaxRejections = sim.DefaultMaxRejections
 	}
 	if c.Workers == 0 {
-		c.Workers = resolveWorkers(0)
+		c.Workers = rollout.ResolveWorkers(0)
 	}
 	if c.BaselineCacheSize == 0 {
 		c.BaselineCacheSize = DefaultBaselineCacheSize
@@ -212,15 +213,18 @@ func (t *Trainer) Inspector() *Inspector { return t.insp }
 func (t *Trainer) Config() TrainConfig { return t.cfg }
 
 // simConfig builds the simulator configuration with the given policy
-// instance and inspector.
-func (t *Trainer) simConfig(pol sched.Policy, insp sim.Inspector) sim.Config {
+// instance. Per-job validation is skipped: every window the trainer
+// schedules comes from the trace, which NewTrainer validated once —
+// re-checking each of the thousands of baseline-cache and rollout replays
+// was pure hot-path overhead.
+func (t *Trainer) simConfig(pol sched.Policy) sim.Config {
 	return sim.Config{
 		MaxProcs:      t.cfg.Trace.MaxProcs,
 		Policy:        pol,
 		Backfill:      t.cfg.Backfill,
-		Inspector:     insp,
 		MaxInterval:   t.cfg.MaxInterval,
 		MaxRejections: t.cfg.MaxRejections,
+		NoValidate:    true,
 	}
 }
 
@@ -231,7 +235,7 @@ func (t *Trainer) simConfig(pol sched.Policy, insp sim.Inspector) sim.Config {
 func (t *Trainer) baseline(start int, pol sched.Policy) (metrics.Summary, error) {
 	return t.baseCache.Get(start, func() (metrics.Summary, error) {
 		jobs := t.cfg.Trace.Window(start, t.cfg.SeqLen)
-		res, err := sim.Run(jobs, t.simConfig(pol, nil))
+		res, err := sim.Run(jobs, t.simConfig(pol))
 		if err != nil {
 			return metrics.Summary{}, err
 		}
@@ -239,96 +243,100 @@ func (t *Trainer) baseline(start int, pol sched.Policy) (metrics.Summary, error)
 	})
 }
 
-// trajResult is one trajectory's contribution to the epoch, filled into its
-// index slot by whichever worker simulated it.
-type trajResult struct {
-	steps       []rl.Step
-	reward      float64
-	diff, pct   float64
-	inspections int
-	rejections  int
-	err         error
-}
-
-// rollout simulates trajectory b of the current epoch on the given policy
-// instance and inspector snapshot. All randomness — the window start and
-// every sampled action — comes from the trajectory's private RNG stream, so
-// the result is a pure function of (Seed, epoch, b).
-func (t *Trainer) rollout(b int, pol sched.Policy, snap *Inspector, out *trajResult) {
-	rng := streamRNG(t.cfg.Seed, streamTrain, uint64(t.epoch), uint64(b))
-	start := t.trainLo + rng.Intn(t.trainHi-t.trainLo)
-	t0 := time.Now()
-	orig, err := t.baseline(start, pol)
-	if err != nil {
-		out.err = err
-		return
-	}
-	jobs := t.cfg.Trace.Window(start, t.cfg.SeqLen)
-	snap.Agent.Reseed(rng)
-	var steps []rl.Step
-	res, err := sim.Run(jobs, t.simConfig(pol, snap.Sampling(&steps)))
-	if err != nil {
-		out.err = err
-		return
-	}
-	insp := res.Summary(t.cfg.Trace.MaxProcs)
-	out.steps = steps
-	out.reward = clampReward(Reward(t.cfg.RewardKind, t.cfg.Metric, orig, insp))
-	out.diff = orig.Of(t.cfg.Metric) - insp.Of(t.cfg.Metric)
-	if !t.cfg.Metric.Minimize() {
-		out.diff = -out.diff
-	}
-	out.pct = metrics.Improvement(t.cfg.Metric, orig, insp)
-	out.inspections = res.Inspections
-	out.rejections = res.Rejections
-	if t.cfg.Metrics != nil {
-		t.cfg.Metrics.TrajectorySeconds.Observe(time.Since(t0).Seconds())
-	}
-}
-
-// RunEpoch samples one batch of trajectories — fanned out over
-// cfg.Workers goroutines, each holding a read-only snapshot of the current
-// policy — performs a PPO update, and returns the epoch statistics. Results
-// are reduced in trajectory-index order and every trajectory draws from its
-// own derived RNG stream, so the statistics, the PPO batch, and the trained
-// model are bit-identical for any worker count.
+// RunEpoch samples one batch of trajectories through the rollout driver —
+// baselines fan out over cfg.Workers goroutines and deduplicate through the
+// cache, then every inspected episode steps concurrently with the policy
+// forwarded once per decision wave — performs a PPO update, and returns the
+// epoch statistics. Results are reduced in trajectory-index order and every
+// trajectory draws from its own derived RNG stream (window start first,
+// then each sampled action), so the statistics, the PPO batch, and the
+// trained model are bit-identical for any worker count and any wave
+// composition.
 func (t *Trainer) RunEpoch() (EpochStats, error) {
 	t.epoch++
 	t0 := time.Now()
 	stats := EpochStats{Epoch: t.epoch}
+	B := t.cfg.Batch
+
+	rngs := make([]*rand.Rand, B)
+	starts := make([]int, B)
+	for b := range rngs {
+		rngs[b] = streamRNG(t.cfg.Seed, streamTrain, uint64(t.epoch), uint64(b))
+		starts[b] = t.trainLo + rngs[b].Intn(t.trainHi-t.trainLo)
+	}
 
 	workers := t.cfg.Workers
-	if workers > t.cfg.Batch {
-		workers = t.cfg.Batch
+	if workers > B {
+		workers = B
 	}
-	pols, ok := policyClones(t.cfg.Policy, workers)
+	basePols, ok := rollout.PolicyClones(t.cfg.Policy, workers)
 	if !ok {
 		workers = 1 // stateful, uncloneable policy: stay sequential
 	}
-	snaps := make([]*Inspector, workers)
-	for w := range snaps {
-		snaps[w] = t.insp.Clone(nil)
-	}
 
-	results := make([]trajResult, t.cfg.Batch)
-	busy, wall := runIndexed(workers, t.cfg.Batch, func(w, b int) {
-		t.rollout(b, pols[w], snaps[w], &results[b])
+	// Phase 1: baseline summaries of every drawn window, deduped and
+	// memoized by the cache.
+	baseSums := make([]metrics.Summary, B)
+	baseErrs := make([]error, B)
+	busy, wall := rollout.RunIndexed(workers, B, func(w, b int) {
+		baseSums[b], baseErrs[b] = t.baseline(starts[b], basePols[w])
 	})
+
+	// Phase 2: inspected episodes through the wave driver. Concurrent
+	// episodes each need their own stateful-policy instance; the inspector
+	// itself needs only one read-only snapshot, since decision waves are
+	// evaluated on the coordinating goroutine.
+	epPols, ok := rollout.PolicyClones(t.cfg.Policy, B)
+	epWorkers := workers
+	if !ok {
+		epWorkers = 1
+	}
+	eps := make([]rollout.Episode, B)
+	for b := range eps {
+		pol := epPols[0]
+		if len(epPols) > 1 {
+			pol = epPols[b]
+		}
+		eps[b] = rollout.Episode{
+			Jobs:        t.cfg.Trace.Window(starts[b], t.cfg.SeqLen),
+			Cfg:         t.simConfig(pol),
+			Interactive: true,
+		}
+	}
+	sampler := newWaveSampler(t.insp.Clone(nil), rngs, B, true)
+	results, rep, runErr := rollout.Run(eps, rollout.Config{Workers: epWorkers, Decide: sampler.decide})
+	busy += rep.Busy
+	wall += rep.Wall
 	t.cfg.Metrics.observeRollout(workers, busy.Seconds(), wall.Seconds())
 	t.cfg.Metrics.observeCache(t.baseCache, &t.cacheSeen)
+	if t.cfg.Metrics != nil {
+		for _, s := range rep.EpisodeSeconds {
+			t.cfg.Metrics.TrajectorySeconds.Observe(s)
+		}
+	}
+	for b := range baseErrs {
+		if baseErrs[b] != nil {
+			return stats, baseErrs[b]
+		}
+	}
+	if runErr != nil {
+		return stats, runErr
+	}
 
-	batch := make([]rl.Trajectory, 0, t.cfg.Batch)
+	batch := make([]rl.Trajectory, 0, B)
 	var inspections, rejections int
 	for b := range results {
-		r := &results[b]
-		if r.err != nil {
-			return stats, r.err
+		orig, insp := baseSums[b], results[b].Summary(t.cfg.Trace.MaxProcs)
+		reward := clampReward(Reward(t.cfg.RewardKind, t.cfg.Metric, orig, insp))
+		batch = append(batch, rl.Trajectory{Steps: sampler.steps[b], Reward: reward})
+		diff := orig.Of(t.cfg.Metric) - insp.Of(t.cfg.Metric)
+		if !t.cfg.Metric.Minimize() {
+			diff = -diff
 		}
-		batch = append(batch, rl.Trajectory{Steps: r.steps, Reward: r.reward})
-		stats.MeanImprovement += r.diff
-		stats.MeanPctImprovement += r.pct
-		inspections += r.inspections
-		rejections += r.rejections
+		stats.MeanImprovement += diff
+		stats.MeanPctImprovement += metrics.Improvement(t.cfg.Metric, orig, insp)
+		inspections += results[b].Inspections
+		rejections += results[b].Rejections
 	}
 	n := float64(t.cfg.Batch)
 	stats.MeanImprovement /= n

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+
+	"schedinspector/internal/nn"
+	"schedinspector/internal/rl"
+	"schedinspector/internal/rollout"
+)
+
+// waveSampler turns the rollout driver's decision waves into inspector
+// actions with one matrix-shaped policy forward per wave. Where the old
+// engine ran one scalar MLP forward inside every simulator callback, the
+// sampler stacks the features of every concurrently-pending decision into
+// one batch, forwards it once, and then samples (or argmaxes) each row.
+//
+// Bit-identity with the callback path holds row by row: ForwardBatch
+// reproduces Forward's accumulation order exactly, Softmax and the
+// categorical draw are the shared rl.SampleCategorical kernel, and each
+// row draws from its own slot's trajectory stream — so wave composition
+// cannot influence any decision.
+//
+// The sampler is coordinator-only: Decide is never called concurrently, so
+// one snapshot of the inspector serves every slot.
+type waveSampler struct {
+	insp   *Inspector
+	rngs   []*rand.Rand // per-slot streams; indexed by episode slot
+	steps  [][]rl.Step  // per-slot transition records when recording
+	greedy bool
+
+	feats  []float64 // wave feature matrix, rows x Mode.Dim()
+	probs  []float64 // softmax scratch
+	bcache nn.BatchCache
+}
+
+// newWaveSampler builds a sampler over slots episode slots using insp as
+// the read-only policy snapshot. rngs[slot] supplies the slot's action
+// draws (stochastic modes); record allocates per-slot step logs for
+// training. Greedy mode (rngs nil) takes the argmax instead of sampling.
+func newWaveSampler(insp *Inspector, rngs []*rand.Rand, slots int, record bool) *waveSampler {
+	s := &waveSampler{
+		insp:   insp,
+		rngs:   rngs,
+		greedy: rngs == nil,
+		probs:  make([]float64, insp.Agent.Policy.OutputSize()),
+	}
+	if record {
+		s.steps = make([][]rl.Step, slots)
+	}
+	return s
+}
+
+func (s *waveSampler) decide(pending []rollout.Pending, rejects []bool) {
+	dim := s.insp.Mode.Dim()
+	rows := len(pending)
+	if cap(s.feats) < rows*dim {
+		s.feats = make([]float64, rows*dim)
+	}
+	s.feats = s.feats[:rows*dim]
+	for i := range pending {
+		// Full-capacity subslices: Features fills the matrix row in place.
+		s.insp.Norm.Features(s.feats[i*dim:(i+1)*dim:(i+1)*dim], s.insp.Mode, pending[i].State)
+	}
+	logits := s.insp.Agent.Policy.ForwardBatch(s.feats, rows, &s.bcache)
+	nAct := s.insp.Agent.Policy.OutputSize()
+	for i := range pending {
+		lg := logits[i*nAct : (i+1)*nAct]
+		var action int
+		var logp float64
+		if s.greedy {
+			for a := 1; a < len(lg); a++ {
+				if lg[a] > lg[action] {
+					action = a
+				}
+			}
+		} else {
+			action, logp = rl.SampleCategorical(s.rngs[pending[i].Slot], lg, s.probs)
+		}
+		if s.steps != nil {
+			slot := pending[i].Slot
+			s.steps[slot] = append(s.steps[slot], rl.Step{
+				Obs:    append([]float64(nil), s.feats[i*dim:(i+1)*dim]...),
+				Action: action,
+				LogP:   logp,
+			})
+		}
+		rejects[i] = action == ActionReject
+	}
+}

@@ -1,0 +1,43 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestForwardBatchBitIdentical pins the batched forward to the scalar one:
+// every row of a ForwardBatch result must equal Forward of that row alone,
+// exactly — the rollout driver's correctness rests on it.
+func TestForwardBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := New(rng, []int{9, 32, 16, 8, 2}, Tanh, Identity)
+	var cache Cache
+	var bcache BatchCache
+	for _, rows := range []int{1, 3, 17, 64, 5} { // shrinking batch reuses the cache
+		nIn, nOut := m.InputSize(), m.OutputSize()
+		xs := make([]float64, rows*nIn)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		got := m.ForwardBatch(xs, rows, &bcache)
+		if len(got) != rows*nOut {
+			t.Fatalf("rows=%d: output length %d, want %d", rows, len(got), rows*nOut)
+		}
+		for r := 0; r < rows; r++ {
+			want := m.Forward(xs[r*nIn:(r+1)*nIn], &cache)
+			for o := 0; o < nOut; o++ {
+				if got[r*nOut+o] != want[o] {
+					t.Fatalf("rows=%d row=%d out=%d: batch %v != scalar %v",
+						rows, r, o, got[r*nOut+o], want[o])
+				}
+			}
+		}
+	}
+}
+
+func TestForwardBatchZeroRows(t *testing.T) {
+	m := New(rand.New(rand.NewSource(1)), []int{4, 3, 2}, Tanh, Identity)
+	if out := m.ForwardBatch(nil, 0, nil); len(out) != 0 {
+		t.Fatalf("zero-row batch returned %d values", len(out))
+	}
+}

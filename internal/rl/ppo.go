@@ -83,8 +83,19 @@ func (a *Agent) Reseed(rng *rand.Rand) { a.rng = rng }
 // log-probability.
 func (a *Agent) Sample(obs []float64) (action int, logp float64) {
 	logits := a.Policy.Forward(obs, &a.polCache)
-	p := nn.Softmax(logits, a.probs)
-	u := a.rng.Float64()
+	return SampleCategorical(a.rng, logits, a.probs)
+}
+
+// SampleCategorical draws one action from the categorical distribution the
+// logits define, consuming exactly one rng.Float64, and returns it with its
+// log-probability. probs is softmax scratch (len >= len(logits)). It is the
+// sampling kernel shared by Agent.Sample and the batched rollout driver,
+// which forwards whole decision waves at once and then samples each row
+// from that row's private trajectory stream — factoring the kernel out
+// guarantees the two paths consume RNG draws identically.
+func SampleCategorical(rng *rand.Rand, logits, probs []float64) (action int, logp float64) {
+	p := nn.Softmax(logits, probs)
+	u := rng.Float64()
 	action = len(p) - 1
 	acc := 0.0
 	for i, pi := range p {

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
@@ -15,6 +16,7 @@ import (
 
 	"schedinspector/internal/core"
 	"schedinspector/internal/obs"
+	"schedinspector/internal/sched"
 	"schedinspector/internal/sim"
 	"schedinspector/internal/workload"
 )
@@ -48,6 +50,49 @@ type InspectResponse struct {
 	RejectProb float64 `json:"reject_prob"` // the policy's rejection probability
 }
 
+// SimulateRequest describes one what-if simulation: a job sequence to
+// schedule on a virtual cluster under a base policy, with the served
+// inspector optionally second-guessing every scheduling decision.
+type SimulateRequest struct {
+	// Policy is the base scheduling policy by its Table 3 abbreviation
+	// (FCFS, LCFS, SJF, SQF, SAF, SRF, F1). Default SJF.
+	Policy       string `json:"policy"`
+	Backfill     bool   `json:"backfill"`
+	Conservative bool   `json:"conservative"`
+	MaxProcs     int    `json:"max_procs"`
+
+	// Inspector selects how the served model drives the decisions:
+	// "stochastic" (default) samples the policy distribution, "greedy"
+	// takes the argmax, and "off" runs the base policy alone.
+	Inspector string `json:"inspector"`
+	Seed      int64  `json:"seed"` // RNG seed for stochastic mode
+
+	Jobs []SimJob `json:"jobs"` // sorted by submit time
+}
+
+// SimJob is one job of a simulation request. IDs are assigned by arrival
+// order (1-based).
+type SimJob struct {
+	Submit float64 `json:"submit"`
+	Run    float64 `json:"run"`
+	Est    float64 `json:"est"`
+	Procs  int     `json:"procs"`
+}
+
+// SimulateResponse summarizes the simulated schedule.
+type SimulateResponse struct {
+	Jobs        int     `json:"jobs"`
+	Inspections int     `json:"inspections"`
+	Rejections  int     `json:"rejections"`
+	Backfills   int     `json:"backfills"`
+	IdleDelay   float64 `json:"idle_delay"`
+	AvgBSLD     float64 `json:"avg_bsld"`
+	AvgWait     float64 `json:"avg_wait"`
+	MaxBSLD     float64 `json:"max_bsld"`
+	Util        float64 `json:"util"`
+	Makespan    float64 `json:"makespan"`
+}
+
 // InfoResponse describes the served model.
 type InfoResponse struct {
 	FeatureMode string  `json:"feature_mode"`
@@ -78,8 +123,8 @@ type Handler struct {
 }
 
 // NewHandler wraps the inspector in an http.Handler with routes
-// POST /v1/inspect, GET /v1/info (also served at /healthz) and
-// GET /metrics (Prometheus text exposition).
+// POST /v1/inspect, POST /v1/simulate, GET /v1/info (also served at
+// /healthz) and GET /metrics (Prometheus text exposition).
 func NewHandler(insp *core.Inspector) *Handler {
 	h := &Handler{
 		insp:      insp,
@@ -101,6 +146,7 @@ func NewHandler(insp *core.Inspector) *Handler {
 		"Parameters of the served policy network.", nil).
 		Set(float64(insp.Agent.Policy.NumParams()))
 	h.mux.HandleFunc("/v1/inspect", h.instrument("/v1/inspect", h.inspect))
+	h.mux.HandleFunc("/v1/simulate", h.instrument("/v1/simulate", h.simulate))
 	h.mux.HandleFunc("/v1/info", h.instrument("/v1/info", h.info))
 	h.mux.HandleFunc("/healthz", h.instrument("/healthz", h.info))
 	h.mux.Handle("/metrics", h.reg.Handler())
@@ -221,19 +267,13 @@ func (h *Handler) inspect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	st := &sim.State{
-		Job:             workload.Job{Est: req.Job.Est, Procs: req.Job.Procs},
-		JobWait:         req.Job.Wait,
-		Rejections:      req.Rejections,
-		FreeProcs:       req.FreeProcs,
-		TotalProcs:      req.TotalProcs,
-		Runnable:        req.Job.Procs <= req.FreeProcs,
-		BackfillEnabled: req.BackfillEnabled,
-		BackfillCount:   req.BackfillCount,
-	}
+	queue := make([]sim.QueueItem, 0, len(req.Queue))
 	for _, q := range req.Queue {
-		st.Queue = append(st.Queue, sim.QueueItem{Wait: q.Wait, Est: q.Est, Procs: q.Procs})
+		queue = append(queue, sim.QueueItem{Wait: q.Wait, Est: q.Est, Procs: q.Procs})
 	}
+	st := sim.NewState(workload.Job{Est: req.Job.Est, Procs: req.Job.Procs},
+		req.Job.Wait, req.Rejections, req.FreeProcs, req.TotalProcs,
+		req.BackfillEnabled, req.BackfillCount, queue)
 
 	h.auditMu.Lock()
 	auditing := h.audit != nil
@@ -250,6 +290,110 @@ func (h *Handler) inspect(w http.ResponseWriter, r *http.Request) {
 
 	h.recordDecision(&req, feat, prob, reject)
 	writeJSON(w, InspectResponse{Reject: reject, RejectProb: prob})
+}
+
+// simulate runs a full what-if schedule over the submitted job sequence by
+// driving a live sim.Env: the environment yields at every scheduling
+// decision and the served model answers it, exactly as a production
+// deployment would. The request's inspector mode picks the decision rule;
+// "off" runs the base policy straight through.
+func (h *Handler) simulate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SimulateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.MaxProcs <= 0 {
+		http.Error(w, "max_procs must be positive", http.StatusBadRequest)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		http.Error(w, "jobs must be non-empty", http.StatusBadRequest)
+		return
+	}
+	if req.Policy == "" {
+		req.Policy = "SJF"
+	}
+	pol, err := sched.ByName(req.Policy)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	mode := req.Inspector
+	if mode == "" {
+		mode = "stochastic"
+	}
+	switch mode {
+	case "stochastic", "greedy", "off":
+	default:
+		http.Error(w, fmt.Sprintf("unknown inspector mode %q (want stochastic, greedy or off)", mode),
+			http.StatusBadRequest)
+		return
+	}
+
+	jobs := make([]workload.Job, len(req.Jobs))
+	for i, j := range req.Jobs {
+		jobs[i] = workload.Job{ID: i + 1, Submit: j.Submit, Run: j.Run, Est: j.Est, Procs: j.Procs}
+	}
+	cfg := sim.Config{
+		MaxProcs:     req.MaxProcs,
+		Policy:       pol,
+		Backfill:     req.Backfill,
+		Conservative: req.Conservative,
+	}
+	if err := sim.ValidateJobs(jobs, req.MaxProcs); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg.NoValidate = true
+
+	var res sim.Result
+	if mode == "off" {
+		// No decisions to answer: the straight-through run never yields.
+		if res, err = sim.Run(jobs, cfg); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	} else {
+		// Snapshot the model so a long simulation does not hold the
+		// /v1/inspect path's lock; stochastic mode draws from a
+		// request-seeded stream so responses are reproducible.
+		h.mu.Lock()
+		snap := h.insp.Clone(rand.New(rand.NewSource(req.Seed)))
+		h.mu.Unlock()
+		decide := snap.Stochastic()
+		if mode == "greedy" {
+			decide = snap.Greedy()
+		}
+		env := sim.NewEnv()
+		st, done, err := env.Reset(jobs, cfg)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		for !done {
+			st, done = env.Step(decide(st))
+		}
+		res = env.Result()
+	}
+
+	sum := res.Summary(req.MaxProcs)
+	writeJSON(w, SimulateResponse{
+		Jobs:        sum.Jobs,
+		Inspections: res.Inspections,
+		Rejections:  res.Rejections,
+		Backfills:   res.Backfills,
+		IdleDelay:   res.IdleDelay,
+		AvgBSLD:     sum.AvgBSLD,
+		AvgWait:     sum.AvgWait,
+		MaxBSLD:     sum.MaxBSLD,
+		Util:        sum.Util,
+		Makespan:    sum.Makespan,
+	})
 }
 
 func (h *Handler) info(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,8 @@ import (
 
 	"schedinspector/internal/core"
 	"schedinspector/internal/metrics"
+	"schedinspector/internal/sched"
+	"schedinspector/internal/sim"
 	"schedinspector/internal/workload"
 )
 
@@ -113,6 +115,134 @@ func TestInspectValidation(t *testing.T) {
 	h.ServeHTTP(rec, req)
 	if rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET inspect: status %d, want 405", rec.Code)
+	}
+}
+
+func validSimRequest() SimulateRequest {
+	return SimulateRequest{
+		Policy:   "SJF",
+		Backfill: true,
+		MaxProcs: 64,
+		Jobs: []SimJob{
+			{Submit: 0, Run: 600, Est: 900, Procs: 48},
+			{Submit: 10, Run: 300, Est: 400, Procs: 32},
+			{Submit: 20, Run: 100, Est: 120, Procs: 8},
+			{Submit: 30, Run: 900, Est: 1000, Procs: 16},
+			{Submit: 40, Run: 50, Est: 60, Procs: 4},
+		},
+	}
+}
+
+func postSimulate(t *testing.T, h http.Handler, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if s, ok := body.(string); ok {
+		buf.WriteString(s)
+	} else if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulate", &buf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeSimulate(t *testing.T, rec *httptest.ResponseRecorder) SimulateResponse {
+	t.Helper()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSimulateOffMatchesSimRun(t *testing.T) {
+	h := testHandler(t)
+	req := validSimRequest()
+	req.Inspector = "off"
+	resp := decodeSimulate(t, postSimulate(t, h, req))
+
+	jobs := make([]workload.Job, len(req.Jobs))
+	for i, j := range req.Jobs {
+		jobs[i] = workload.Job{ID: i + 1, Submit: j.Submit, Run: j.Run, Est: j.Est, Procs: j.Procs}
+	}
+	res, err := sim.Run(jobs, sim.Config{MaxProcs: req.MaxProcs, Policy: sched.SJF(), Backfill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summary(req.MaxProcs)
+	if resp.Jobs != sum.Jobs || resp.AvgBSLD != sum.AvgBSLD || resp.AvgWait != sum.AvgWait ||
+		resp.Util != sum.Util || resp.Makespan != sum.Makespan || resp.Backfills != res.Backfills {
+		t.Errorf("off-mode response %+v does not match direct run %+v / %+v", resp, sum, res)
+	}
+	if resp.Inspections != 0 || resp.Rejections != 0 {
+		t.Errorf("off mode consulted the inspector: %+v", resp)
+	}
+}
+
+func TestSimulateInspectorModes(t *testing.T) {
+	h := testHandler(t)
+	for _, mode := range []string{"stochastic", "greedy"} {
+		req := validSimRequest()
+		req.Inspector = mode
+		req.Seed = 7
+		resp := decodeSimulate(t, postSimulate(t, h, req))
+		if resp.Jobs != len(req.Jobs) {
+			t.Errorf("%s: scheduled %d of %d jobs", mode, resp.Jobs, len(req.Jobs))
+		}
+		if resp.Inspections == 0 {
+			t.Errorf("%s: inspector never consulted", mode)
+		}
+		if resp.Rejections > resp.Inspections {
+			t.Errorf("%s: rejections %d > inspections %d", mode, resp.Rejections, resp.Inspections)
+		}
+		// Identical request, identical seed: the response must reproduce.
+		again := decodeSimulate(t, postSimulate(t, h, req))
+		if again != resp {
+			t.Errorf("%s: responses diverged across identical requests:\n%+v\n%+v", mode, resp, again)
+		}
+	}
+	// Default mode is stochastic with seed 0 — still reproducible.
+	req := validSimRequest()
+	a := decodeSimulate(t, postSimulate(t, h, req))
+	b := decodeSimulate(t, postSimulate(t, h, req))
+	if a != b {
+		t.Errorf("default mode not reproducible:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	h := testHandler(t)
+	cases := []struct {
+		name string
+		mut  func(*SimulateRequest)
+	}{
+		{"zero max_procs", func(r *SimulateRequest) { r.MaxProcs = 0 }},
+		{"no jobs", func(r *SimulateRequest) { r.Jobs = nil }},
+		{"unknown policy", func(r *SimulateRequest) { r.Policy = "LOTTERY" }},
+		{"unknown mode", func(r *SimulateRequest) { r.Inspector = "maybe" }},
+		{"oversized job", func(r *SimulateRequest) { r.Jobs[0].Procs = r.MaxProcs + 1 }},
+		{"zero procs", func(r *SimulateRequest) { r.Jobs[0].Procs = 0 }},
+		{"unsorted submits", func(r *SimulateRequest) { r.Jobs[0].Submit = 999 }},
+	}
+	for _, c := range cases {
+		req := validSimRequest()
+		c.mut(&req)
+		if rec := postSimulate(t, h, req); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, rec.Code)
+		}
+	}
+	if rec := postSimulate(t, h, "{not json"); rec.Code != http.StatusBadRequest {
+		t.Errorf("garbage body: status %d, want 400", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/simulate", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET simulate: status %d, want 405", rec.Code)
 	}
 }
 

@@ -101,7 +101,7 @@ func (p *profile) insertBreak(t float64) {
 // policy priority order (the reserved head job first) and starts those
 // whose earliest feasible time is now. Unlike EASY, no started job can
 // delay ANY earlier-priority waiting job's planned start.
-func (s *sim) backfillConservative(reservedID int) {
+func (s *Env) backfillConservative(reservedID int) {
 	for {
 		started := s.conservativePass(reservedID)
 		if !started {
@@ -111,7 +111,7 @@ func (s *sim) backfillConservative(reservedID int) {
 }
 
 // conservativePass runs one planning pass; reports whether any job started.
-func (s *sim) conservativePass(reservedID int) bool {
+func (s *Env) conservativePass(reservedID int) bool {
 	p := newProfile(s.now, s.free, s.running)
 
 	// Order: the reserved job first, then remaining queue by policy score.

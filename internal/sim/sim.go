@@ -7,12 +7,16 @@
 // Two runtimes are modeled per job: the actual runtime decides completions;
 // the estimated runtime drives the policies, backfilling reservations and
 // the inspector's view, exactly as §3.2 prescribes.
+//
+// The simulator is exposed two ways. Env is the resumable core: a
+// reset/step environment that yields control to the caller at every
+// scheduling point, in the style of the step-based RL environments of
+// RLScheduler and Decima. Run is the run-to-completion convenience built on
+// top of it, driving an Env with the Config.Inspector callback.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"math"
 
 	"schedinspector/internal/metrics"
 	"schedinspector/internal/obs"
@@ -64,17 +68,43 @@ type QueueItem struct {
 	Procs int
 }
 
+// NewState assembles an inspector State from its raw components, deriving
+// the Runnable bit. External integrations (the HTTP layer, tests) should
+// construct states through it rather than field-by-field, so derived fields
+// and future State growth have a single construction point.
+func NewState(job workload.Job, wait float64, rejections, freeProcs, totalProcs int,
+	backfillEnabled bool, backfillCount int, queue []QueueItem) *State {
+	return &State{
+		Job:             job,
+		JobWait:         wait,
+		Rejections:      rejections,
+		FreeProcs:       freeProcs,
+		TotalProcs:      totalProcs,
+		Runnable:        job.Procs <= freeProcs,
+		BackfillEnabled: backfillEnabled,
+		BackfillCount:   backfillCount,
+		Queue:           queue,
+	}
+}
+
 // Config parameterizes one simulation run.
 type Config struct {
 	MaxProcs      int          // cluster size; must be > 0
 	Policy        sched.Policy // base scheduling policy; required
 	Backfill      bool         // enable backfilling (EASY unless Conservative)
 	Conservative  bool         // with Backfill: conservative (all-reservations) variant
-	Inspector     Inspector    // optional; nil runs the base policy alone
+	Inspector     Inspector    // optional; nil runs the base policy alone (ignored by Env.Reset)
 	MaxInterval   float64      // retry cut-off; 0 means DefaultMaxInterval
 	MaxRejections int          // per-job rejection cap; 0 means DefaultMaxRejections; <0 means none allowed
 	TrackUsage    bool         // record the usage timeline (Result.Usage)
 	Tracer        *obs.Tracer  // optional event tracer; nil (the default) costs one branch per event site
+
+	// NoValidate skips the per-run job validation and sortedness check.
+	// Set it when the jobs come from a pre-validated source — e.g. a
+	// workload.Trace that already passed Validate — so hot paths that
+	// replay the same window (the baseline cache) do not re-verify every
+	// job on every run.
+	NoValidate bool
 }
 
 // Result is the outcome of a simulation run.
@@ -101,43 +131,51 @@ func (r Result) Summary(maxProcs int) metrics.Summary {
 	return metrics.Compute(r.Results, maxProcs)
 }
 
+// ValidateJobs checks a job sequence for simulation validity: every job
+// well-formed for a maxProcs cluster and the sequence sorted by submit
+// time. It is the check Run performs on every call unless Config.NoValidate
+// is set; callers that replay the same jobs repeatedly should validate once
+// here and set NoValidate.
+func ValidateJobs(jobs []workload.Job, maxProcs int) error {
+	for i := range jobs {
+		if err := jobs[i].Validate(maxProcs); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		if i > 0 && jobs[i].Submit < jobs[i-1].Submit {
+			return fmt.Errorf("sim: jobs not sorted by submit at index %d", i)
+		}
+	}
+	return nil
+}
+
 // Run schedules the job sequence to completion and returns the results.
 // The jobs slice is not modified. It panics on invalid configuration and
 // returns an error for invalid jobs.
+//
+// Run is a thin loop over Env: it resets an environment and answers every
+// yielded decision with cfg.Inspector (accepting everything, without
+// consulting or counting, when the inspector is nil), which keeps the
+// callback path and the caller-driven Env path bit-identical by
+// construction.
 func Run(jobs []workload.Job, cfg Config) (Result, error) {
-	if cfg.MaxProcs <= 0 {
-		panic("sim: Config.MaxProcs must be positive")
+	var env Env
+	return RunEnv(&env, jobs, cfg)
+}
+
+// RunEnv is Run on a caller-owned environment, reusing its internal buffers
+// across calls — the allocation-lean path for drivers that replay many
+// windows (baseline caches, evaluation sweeps). The returned Result aliases
+// env storage and is invalidated by the env's next Reset or RunEnv; callers
+// retaining it across episodes must copy the Results and Usage slices.
+func RunEnv(env *Env, jobs []workload.Job, cfg Config) (Result, error) {
+	obs, done, err := env.reset(jobs, cfg, cfg.Inspector != nil)
+	if err != nil {
+		return Result{}, err
 	}
-	if cfg.Policy == nil {
-		panic("sim: Config.Policy is required")
+	for !done {
+		obs, done = env.Step(cfg.Inspector(obs))
 	}
-	if cfg.MaxInterval == 0 {
-		cfg.MaxInterval = DefaultMaxInterval
-	}
-	if cfg.MaxRejections == 0 {
-		cfg.MaxRejections = DefaultMaxRejections
-	}
-	if cfg.MaxRejections < 0 {
-		cfg.MaxRejections = 0
-	}
-	for i := range jobs {
-		if err := jobs[i].Validate(cfg.MaxProcs); err != nil {
-			return Result{}, fmt.Errorf("sim: %w", err)
-		}
-		if i > 0 && jobs[i].Submit < jobs[i-1].Submit {
-			return Result{}, fmt.Errorf("sim: jobs not sorted by submit at index %d", i)
-		}
-	}
-	if r, ok := cfg.Policy.(sched.Resetter); ok {
-		r.Reset()
-	}
-	s := &sim{
-		cfg:     cfg,
-		pending: jobs,
-		free:    cfg.MaxProcs,
-	}
-	s.run()
-	return s.out, nil
+	return env.Result(), nil
 }
 
 // waiting is a queued job plus its simulator bookkeeping.
@@ -152,385 +190,4 @@ type runningJob struct {
 	estEnd float64 // estimated completion time (start + est)
 	procs  int
 	id     int
-}
-
-type runHeap []runningJob
-
-func (h runHeap) Len() int           { return len(h) }
-func (h runHeap) Less(i, k int) bool { return h[i].end < h[k].end }
-func (h runHeap) Swap(i, k int)      { h[i], h[k] = h[k], h[i] }
-func (h *runHeap) Push(x any)        { *h = append(*h, x.(runningJob)) }
-func (h *runHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
-
-type sim struct {
-	cfg     Config
-	pending []workload.Job // not yet arrived, sorted by submit
-	queue   []waiting
-	running runHeap
-	free    int
-	now     float64
-	out     Result
-	state   State // reused inspector state
-}
-
-func (s *sim) run() {
-	s.ingestArrivals()
-	s.recordUsage() // initial sample at t=0 for the usage timeline
-	for {
-		s.ingestArrivals()
-		// A scheduling decision requires waiting jobs and at least one free
-		// processor; a saturated cluster makes no picks (this matches the
-		// paper's Figure 1 example, where J1 is not considered while the
-		// cluster is full and loses to the later-arriving J2).
-		if len(s.queue) == 0 || s.free == 0 {
-			t, ok := s.nextEvent()
-			if !ok {
-				return // all jobs started; running ones have recorded results
-			}
-			s.advanceTo(t)
-			continue
-		}
-		idx := s.pickTop()
-		if t := s.cfg.Tracer; t != nil {
-			w := &s.queue[idx]
-			t.Emit(obs.Event{
-				Kind: obs.EventSchedPoint, Time: s.now, JobID: w.job.ID, Procs: w.job.Procs,
-				Wait: s.now - w.job.Submit, FreeProcs: s.free, QueueLen: len(s.queue),
-			})
-		}
-		if s.rejectDecision(idx) {
-			s.queue[idx].rejects++
-			s.out.Rejections++
-			before := s.now
-			t := s.now + s.cfg.MaxInterval
-			if e, ok := s.nextEvent(); ok && e < t {
-				t = e
-			}
-			s.out.IdleDelay += t - before
-			s.advanceTo(t)
-			continue
-		}
-		s.scheduleJob(idx)
-	}
-}
-
-// rejectDecision consults the inspector about the queue[idx] decision.
-func (s *sim) rejectDecision(idx int) bool {
-	if s.cfg.Inspector == nil {
-		return false
-	}
-	w := &s.queue[idx]
-	if w.rejects >= s.cfg.MaxRejections {
-		return false // cap reached: the decision always proceeds (§3.2)
-	}
-	s.fillState(idx)
-	s.out.Inspections++
-	rejected := s.cfg.Inspector(&s.state)
-	if t := s.cfg.Tracer; t != nil {
-		kind := obs.EventAccept
-		if rejected {
-			kind = obs.EventReject
-		}
-		t.Emit(obs.Event{
-			Kind: kind, Time: s.now, JobID: w.job.ID, Procs: w.job.Procs,
-			Wait: s.now - w.job.Submit, FreeProcs: s.free, QueueLen: len(s.queue),
-			Rejections: w.rejects,
-		})
-	}
-	return rejected
-}
-
-// fillState refreshes the reusable inspector state for queue[idx].
-func (s *sim) fillState(idx int) {
-	w := &s.queue[idx]
-	st := &s.state
-	st.Now = s.now
-	st.Job = w.job
-	st.JobWait = s.now - w.job.Submit
-	st.Rejections = w.rejects
-	st.FreeProcs = s.free
-	st.TotalProcs = s.cfg.MaxProcs
-	st.Runnable = w.job.Procs <= s.free
-	st.BackfillEnabled = s.cfg.Backfill
-	st.BackfillCount = 0
-	if s.cfg.Backfill {
-		st.BackfillCount = s.countBackfillable(idx)
-	}
-	st.Queue = st.Queue[:0]
-	for i := range s.queue {
-		if i == idx {
-			continue
-		}
-		q := &s.queue[i]
-		st.Queue = append(st.Queue, QueueItem{
-			Wait:  s.now - q.job.Submit,
-			Est:   q.job.Est,
-			Procs: q.job.Procs,
-		})
-	}
-}
-
-// pickTop returns the index of the queue job the base policy schedules
-// next. Policies implementing sched.Selector choose directly from the
-// queue; otherwise the pick is lowest score, ties broken by smaller job ID.
-func (s *sim) pickTop() int {
-	if sel, ok := s.cfg.Policy.(sched.Selector); ok {
-		jobs := make([]workload.Job, len(s.queue))
-		for i := range s.queue {
-			jobs[i] = s.queue[i].job
-		}
-		if idx := sel.Select(jobs, s.now, s.free, s.cfg.MaxProcs); idx >= 0 && idx < len(s.queue) {
-			return idx
-		}
-	}
-	best := 0
-	bestScore := s.cfg.Policy.Score(&s.queue[0].job, s.now)
-	for i := 1; i < len(s.queue); i++ {
-		sc := s.cfg.Policy.Score(&s.queue[i].job, s.now)
-		if sc < bestScore || (sc == bestScore && s.queue[i].job.ID < s.queue[best].job.ID) {
-			best, bestScore = i, sc
-		}
-	}
-	return best
-}
-
-// scheduleJob commits to starting queue[idx]: immediately if resources
-// allow, otherwise it reserves the job and waits for completions, running
-// EASY backfilling meanwhile.
-func (s *sim) scheduleJob(idx int) {
-	if s.queue[idx].job.Procs <= s.free {
-		s.startJob(idx)
-		return
-	}
-	// The job cannot run yet. It holds a reservation; other queue jobs may
-	// backfill around it until enough resources free up.
-	reservedID := s.queue[idx].job.ID
-	for {
-		i := s.indexOf(reservedID)
-		if s.queue[i].job.Procs <= s.free {
-			s.startJob(i)
-			return
-		}
-		if s.cfg.Backfill {
-			if s.cfg.Conservative {
-				s.backfillConservative(reservedID)
-			} else {
-				s.backfill(reservedID)
-			}
-			i = s.indexOf(reservedID)
-			if s.queue[i].job.Procs <= s.free {
-				s.startJob(i)
-				return
-			}
-		}
-		t, ok := s.nextEvent()
-		if !ok {
-			// Cannot happen with valid jobs: free < procs <= MaxProcs implies
-			// something is running, so a completion event exists.
-			panic("sim: reserved job starved with no future events")
-		}
-		s.advanceTo(t)
-	}
-}
-
-// indexOf finds a queued job by ID. The queue is small; linear scan is fine.
-func (s *sim) indexOf(id int) int {
-	for i := range s.queue {
-		if s.queue[i].job.ID == id {
-			return i
-		}
-	}
-	panic("sim: reserved job vanished from queue")
-}
-
-// startJob starts queue[idx] at the current time and removes it from the
-// queue.
-func (s *sim) startJob(idx int) {
-	w := s.queue[idx]
-	j := w.job
-	if j.Procs > s.free {
-		panic("sim: startJob without resources")
-	}
-	s.free -= j.Procs
-	heap.Push(&s.running, runningJob{end: s.now + j.Run, estEnd: s.now + j.Est, procs: j.Procs, id: j.ID})
-	s.out.Results = append(s.out.Results, metrics.JobResult{
-		ID: j.ID, Submit: j.Submit, Start: s.now, End: s.now + j.Run,
-		Run: j.Run, Est: j.Est, Procs: j.Procs,
-	})
-	if obs, ok := s.cfg.Policy.(sched.UsageObserver); ok {
-		obs.ObserveStart(&j, s.now)
-	}
-	s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
-	if t := s.cfg.Tracer; t != nil {
-		t.Emit(obs.Event{
-			Kind: obs.EventJobStart, Time: s.now, JobID: j.ID, Procs: j.Procs,
-			Wait: s.now - j.Submit, FreeProcs: s.free, QueueLen: len(s.queue),
-		})
-	}
-	s.recordUsage()
-}
-
-// reservation computes the EASY shadow time and extra processors for the
-// reserved job: the earliest time (by estimates) it could start, and how
-// many processors would remain free at that time after it starts.
-func (s *sim) reservation(reservedProcs int) (shadow float64, extra int) {
-	if reservedProcs <= s.free {
-		return s.now, s.free - reservedProcs
-	}
-	ends := make([]runningJob, len(s.running))
-	copy(ends, s.running)
-	// sort by estimated end; a running job that exceeded its estimate frees
-	// its processors "now" for planning purposes (it may end any moment).
-	for i := range ends {
-		if ends[i].estEnd < s.now {
-			ends[i].estEnd = s.now
-		}
-	}
-	sortByEstEnd(ends)
-	avail := s.free
-	for _, r := range ends {
-		avail += r.procs
-		if avail >= reservedProcs {
-			return r.estEnd, avail - reservedProcs
-		}
-	}
-	// All estimates insufficient (cannot happen when procs <= MaxProcs).
-	return math.Inf(1), 0
-}
-
-func sortByEstEnd(rs []runningJob) {
-	// insertion sort: running sets are small and mostly ordered
-	for i := 1; i < len(rs); i++ {
-		for k := i; k > 0 && rs[k].estEnd < rs[k-1].estEnd; k-- {
-			rs[k], rs[k-1] = rs[k-1], rs[k]
-		}
-	}
-}
-
-// backfill starts every waiting job (in base-policy order) that fits in the
-// currently free processors and does not delay the reserved job's shadow
-// start: it must either finish (by estimate) before the shadow time or use
-// only the extra processors.
-func (s *sim) backfill(reservedID int) {
-	i := s.indexOf(reservedID)
-	shadow, extra := s.reservation(s.queue[i].job.Procs)
-	for {
-		idx := s.pickBackfillable(reservedID, shadow, extra)
-		if idx < 0 {
-			return
-		}
-		procs := s.queue[idx].job.Procs
-		if procs <= extra {
-			extra -= procs
-		}
-		s.emitBackfill(idx)
-		s.startJob(idx)
-		s.out.Backfills++
-	}
-}
-
-// emitBackfill traces that queue[idx] is about to start via backfilling
-// (followed by its job_start event).
-func (s *sim) emitBackfill(idx int) {
-	t := s.cfg.Tracer
-	if t == nil {
-		return
-	}
-	j := &s.queue[idx].job
-	t.Emit(obs.Event{
-		Kind: obs.EventBackfill, Time: s.now, JobID: j.ID, Procs: j.Procs,
-		Wait: s.now - j.Submit, FreeProcs: s.free, QueueLen: len(s.queue),
-	})
-}
-
-// pickBackfillable returns the best-priority queue index eligible for
-// backfilling, or -1.
-func (s *sim) pickBackfillable(reservedID int, shadow float64, extra int) int {
-	best := -1
-	var bestScore float64
-	for i := range s.queue {
-		j := &s.queue[i].job
-		if j.ID == reservedID || j.Procs > s.free {
-			continue
-		}
-		if s.now+j.Est > shadow && j.Procs > extra {
-			continue
-		}
-		sc := s.cfg.Policy.Score(j, s.now)
-		if best < 0 || sc < bestScore || (sc == bestScore && j.ID < s.queue[best].job.ID) {
-			best, bestScore = i, sc
-		}
-	}
-	return best
-}
-
-// countBackfillable counts waiting jobs (excluding queue[idx]) that could
-// backfill if queue[idx]'s decision proceeded — the "Backfilling
-// Contributions" feature of §3.3. It is a static count against the current
-// shadow window; no jobs are started.
-func (s *sim) countBackfillable(idx int) int {
-	shadow, extra := s.reservation(s.queue[idx].job.Procs)
-	free := s.free
-	if s.queue[idx].job.Procs <= s.free {
-		free -= s.queue[idx].job.Procs // the job starts; others see the rest
-	}
-	n := 0
-	for i := range s.queue {
-		if i == idx {
-			continue
-		}
-		j := &s.queue[i].job
-		if j.Procs > free {
-			continue
-		}
-		if s.now+j.Est <= shadow || j.Procs <= extra {
-			n++
-		}
-	}
-	return n
-}
-
-// nextEvent returns the earliest future event time (arrival or completion).
-func (s *sim) nextEvent() (float64, bool) {
-	t := math.Inf(1)
-	if len(s.pending) > 0 {
-		t = s.pending[0].Submit
-	}
-	if len(s.running) > 0 && s.running[0].end < t {
-		t = s.running[0].end
-	}
-	if math.IsInf(t, 1) {
-		return 0, false
-	}
-	return t, true
-}
-
-// advanceTo moves the clock to t, completing jobs and ingesting arrivals on
-// the way.
-func (s *sim) advanceTo(t float64) {
-	if t < s.now {
-		panic("sim: time going backwards")
-	}
-	s.now = t
-	for len(s.running) > 0 && s.running[0].end <= t {
-		r := heap.Pop(&s.running).(runningJob)
-		s.free += r.procs
-		if tr := s.cfg.Tracer; tr != nil {
-			tr.Emit(obs.Event{
-				Kind: obs.EventJobEnd, Time: r.end, JobID: r.id, Procs: r.procs,
-				FreeProcs: s.free, QueueLen: len(s.queue),
-			})
-		}
-	}
-	s.ingestArrivals()
-	s.recordUsage()
-}
-
-// ingestArrivals moves pending jobs submitted at or before now into the
-// waiting queue.
-func (s *sim) ingestArrivals() {
-	for len(s.pending) > 0 && s.pending[0].Submit <= s.now {
-		s.queue = append(s.queue, waiting{job: s.pending[0]})
-		s.pending = s.pending[1:]
-	}
 }

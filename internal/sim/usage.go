@@ -16,7 +16,7 @@ type UsagePoint struct {
 
 // recordUsage appends a sample if tracking is enabled and the state
 // actually changed.
-func (s *sim) recordUsage() {
+func (s *Env) recordUsage() {
 	if !s.cfg.TrackUsage {
 		return
 	}

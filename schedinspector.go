@@ -71,6 +71,13 @@ type (
 	SimResult = sim.Result
 	// SimState is the scheduling context an inspector observes.
 	SimState = sim.State
+	// SimEnv is the steppable simulator core: Reset starts an episode and
+	// yields at every scheduling decision; Step answers it. Simulate is a
+	// thin loop over it.
+	SimEnv = sim.Env
+	// SimSnapshot is a deep copy of a SimEnv's state for checkpoint/branch
+	// workloads (SimEnv.Snapshot / SimEnv.Restore).
+	SimSnapshot = sim.Snapshot
 
 	// Inspector is a SchedInspector model.
 	Inspector = core.Inspector
@@ -204,6 +211,18 @@ func ComputeTraceStats(t *Trace) TraceStats { return workload.ComputeStats(t) }
 
 // Simulate schedules a job sequence under cfg and returns the results.
 func Simulate(jobs []Job, cfg SimConfig) (SimResult, error) { return sim.Run(jobs, cfg) }
+
+// NewSimEnv returns an empty steppable environment; its Reset starts the
+// first episode. A reused env reaches a steady state where full episodes
+// allocate nothing.
+func NewSimEnv() *SimEnv { return sim.NewEnv() }
+
+// SimulateEnv is Simulate on a caller-owned environment, reusing its
+// buffers across calls. The returned result aliases env storage and is
+// invalidated by the env's next Reset.
+func SimulateEnv(env *SimEnv, jobs []Job, cfg SimConfig) (SimResult, error) {
+	return sim.RunEnv(env, jobs, cfg)
+}
 
 // NewTrainer builds a PPO trainer for a fresh inspector.
 func NewTrainer(cfg TrainConfig) (*Trainer, error) { return core.NewTrainer(cfg) }
