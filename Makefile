@@ -6,8 +6,9 @@
 # stays fast; the long learning test is covered by the plain `test` target.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all build vet fmt-check test test-short race bench bench-env equiv verify
+.PHONY: all build vet fmt-check test test-short race bench bench-env bench-check equiv fuzz-smoke verify
 
 all: build
 
@@ -29,7 +30,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/serve/
+	$(GO) test -race ./internal/obs/ ./internal/serve/ ./internal/rollout/ ./internal/ckpt/
 	$(GO) test -race -short ./internal/core/ ./internal/rl/ ./internal/sim/
 
 bench: bench-env
@@ -42,9 +43,23 @@ bench-env:
 		| $(GO) run ./cmd/benchjson -o BENCH_env.json
 	$(GO) test -run '^$$' -bench 'BenchmarkEnvStep$$' -benchmem .
 
+# bench-check reruns the Env benchmarks and gates them against the
+# committed BENCH_env.json: fail on a >25% ns/op regression or on any new
+# allocation in a benchmark the baseline records as allocation-free.
+bench-check:
+	$(GO) test -run '^$$' -bench 'EnvInspected|LegacyInspected' -benchmem ./internal/sim/ \
+		| $(GO) run ./cmd/benchjson -check BENCH_env.json -tolerance 0.25
+
 # equiv runs the golden equivalence suites that pin the Env/wave engines to
 # the verbatim seed implementations, bit for bit, under the race detector.
 equiv:
 	$(GO) test -race -run 'Equiv' -count=1 ./internal/sim/ ./internal/core/
+
+# fuzz-smoke gives every fuzz target a short budget (override with
+# FUZZTIME=...) — enough to catch shallow parser/decoder regressions on
+# every CI run without turning the pipeline into a fuzzing campaign.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSWF$$' -fuzztime $(FUZZTIME) ./internal/workload/
+	$(GO) test -run '^$$' -fuzz '^FuzzLoadCheckpoint$$' -fuzztime $(FUZZTIME) ./internal/ckpt/
 
 verify: build vet fmt-check race test

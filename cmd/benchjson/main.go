@@ -9,6 +9,25 @@
 //
 // Input lines it does not recognize (goos/pkg headers, PASS, timings) pass
 // through to stderr unchanged so the human-readable output stays visible.
+//
+// With -check it becomes a regression gate instead of an archiver: the
+// fresh results on stdin are compared against a committed baseline
+// document and the process exits non-zero when
+//
+//   - a benchmark regresses its ns/op beyond -tolerance (fractional, so
+//     0.25 allows up to +25% before failing — wide enough for shared CI
+//     runners, tight enough to catch real slowdowns),
+//   - a benchmark that was allocation-free in the baseline now allocates
+//     (0 allocs/op is a hard property, not a noisy measurement), or
+//   - a baseline benchmark is missing from the fresh run (a renamed or
+//     deleted benchmark must be renamed in the baseline too, not silently
+//     dropped from coverage).
+//
+// Benchmarks are matched by name only, ignoring the GOMAXPROCS suffix, so
+// a baseline recorded on an 8-core machine still gates a 4-core runner.
+//
+//	go test -bench 'Env' -benchmem ./internal/sim/ \
+//	  | benchjson -check BENCH_env.json -tolerance 0.25
 package main
 
 import (
@@ -66,7 +85,9 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
-func run(out string) error {
+// readStdin parses benchmark result lines from stdin, echoing every line
+// to stderr so the human-readable stream stays visible.
+func readStdin() (Report, error) {
 	var rep Report
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -75,13 +96,21 @@ func run(out string) error {
 		if b, ok := parseLine(line); ok {
 			rep.Benchmarks = append(rep.Benchmarks, b)
 		}
-		fmt.Fprintln(os.Stderr, line) // keep the human-readable stream
+		fmt.Fprintln(os.Stderr, line)
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return rep, err
 	}
 	if len(rep.Benchmarks) == 0 {
-		return fmt.Errorf("no benchmark results on stdin")
+		return rep, fmt.Errorf("no benchmark results on stdin")
+	}
+	return rep, nil
+}
+
+func run(out string) error {
+	rep, err := readStdin()
+	if err != nil {
+		return err
 	}
 	w := os.Stdout
 	if out != "" {
@@ -97,10 +126,77 @@ func run(out string) error {
 	return enc.Encode(rep)
 }
 
+// check compares fresh results on stdin against the baseline document and
+// reports every violated expectation; any violation is an error.
+func check(baselinePath string, tolerance float64) error {
+	if tolerance < 0 {
+		return fmt.Errorf("tolerance must be non-negative, got %v", tolerance)
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if len(base.Benchmarks) == 0 {
+		return fmt.Errorf("%s: baseline holds no benchmarks", baselinePath)
+	}
+	cur, err := readStdin()
+	if err != nil {
+		return err
+	}
+	byName := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		byName[b.Name] = b
+	}
+
+	failures := 0
+	for _, b := range base.Benchmarks {
+		c, ok := byName[b.Name]
+		if !ok {
+			fmt.Printf("FAIL %s: in baseline but not in this run\n", b.Name)
+			failures++
+			continue
+		}
+		baseNs, curNs := b.Metrics["ns/op"], c.Metrics["ns/op"]
+		if baseNs > 0 {
+			delta := curNs/baseNs - 1
+			if delta > tolerance {
+				fmt.Printf("FAIL %s: %.0f ns/op vs baseline %.0f (%+.1f%%, tolerance %+.0f%%)\n",
+					b.Name, curNs, baseNs, 100*delta, 100*tolerance)
+				failures++
+			} else {
+				fmt.Printf("ok   %s: %.0f ns/op vs baseline %.0f (%+.1f%%)\n",
+					b.Name, curNs, baseNs, 100*delta)
+			}
+		}
+		if baseAllocs, ok := b.Metrics["allocs/op"]; ok && baseAllocs == 0 {
+			if got := c.Metrics["allocs/op"]; got > 0 {
+				fmt.Printf("FAIL %s: %v allocs/op, baseline is allocation-free\n", b.Name, got)
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d benchmark regression(s) against %s", failures, baselinePath)
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("check", "", "compare stdin against this baseline JSON instead of emitting a document")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression in -check mode")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	var err error
+	if *baseline != "" {
+		err = check(*baseline, *tolerance)
+	} else {
+		err = run(*out)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -117,6 +117,277 @@ ok  	schedinspector	1.949s
 	}
 }
 
+// TestBenchJSONCheck exercises the regression-gate mode against a canned
+// baseline: pass within tolerance, fail beyond it, fail on a new
+// allocation where the baseline was allocation-free, fail on a missing
+// benchmark.
+func TestBenchJSONCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "benchjson")
+	build := exec.Command("go", "build", "-o", bin, "./benchjson")
+	build.Dir = mustSelfDir(t)
+	if b, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build benchjson: %v\n%s", err, b)
+	}
+	baseline := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(baseline, []byte(`{"benchmarks":[
+		{"name":"EnvStep","procs":8,"iterations":10000,
+		 "metrics":{"ns/op":1000,"allocs/op":0}},
+		{"name":"Simulator","procs":8,"iterations":10000,
+		 "metrics":{"ns/op":2000,"allocs/op":5}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	checkRun := func(stdin string) (string, error) {
+		cmd := exec.Command(bin, "-check", baseline, "-tolerance", "0.25")
+		cmd.Stdin = strings.NewReader(stdin)
+		var buf bytes.Buffer
+		cmd.Stdout = &buf
+		cmd.Stderr = io.Discard
+		err := cmd.Run()
+		return buf.String(), err
+	}
+
+	// Within tolerance (+20% ns/op, allocs unchanged): pass.
+	out, err := checkRun(`BenchmarkEnvStep-8   10000   1200 ns/op   0 allocs/op
+BenchmarkSimulator-8   10000   2100 ns/op   5 allocs/op
+PASS
+`)
+	if err != nil {
+		t.Fatalf("within-tolerance run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "ok   EnvStep") {
+		t.Errorf("missing ok line:\n%s", out)
+	}
+
+	// Beyond tolerance: fail and say so.
+	out, err = checkRun(`BenchmarkEnvStep-8   10000   1300 ns/op   0 allocs/op
+BenchmarkSimulator-8   10000   2000 ns/op   5 allocs/op
+`)
+	if err == nil {
+		t.Fatalf("+30%% regression accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL EnvStep") {
+		t.Errorf("regression not named:\n%s", out)
+	}
+
+	// New allocation on a 0-alloc baseline: fail even though ns/op is fine.
+	out, err = checkRun(`BenchmarkEnvStep-8   10000   1000 ns/op   2 allocs/op
+BenchmarkSimulator-8   10000   2000 ns/op   5 allocs/op
+`)
+	if err == nil {
+		t.Fatalf("new allocation accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "allocation-free") {
+		t.Errorf("allocation failure not explained:\n%s", out)
+	}
+
+	// Baseline benchmark missing from the run: fail.
+	out, err = checkRun(`BenchmarkEnvStep-8   10000   1000 ns/op   0 allocs/op
+`)
+	if err == nil {
+		t.Fatalf("missing benchmark accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL Simulator") {
+		t.Errorf("missing benchmark not named:\n%s", out)
+	}
+}
+
+// TestCLICheckpointResume pins the CLI half of the kill-and-resume
+// guarantee: a run trained straight to N epochs and a run trained to N/2,
+// stopped, and resumed with -resume produce byte-identical model files.
+func TestCLICheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test skipped in -short mode")
+	}
+	bins := buildAll(t)
+	work := t.TempDir()
+	swf := filepath.Join(work, "trace.swf.gz")
+	run(t, filepath.Join(bins, "tracegen"), "-trace", "SDSC-SP2", "-jobs", "3000", "-o", swf)
+
+	common := []string{"train", "-swf", swf, "-policy", "SJF", "-metric", "bsld",
+		"-batch", "4", "-seqlen", "64", "-seed", "42"}
+	modelA := filepath.Join(work, "straight.gob")
+	run(t, filepath.Join(bins, "schedinspect"),
+		append(common, "-epochs", "4", "-model", modelA)...)
+
+	// Half the epochs, checkpointing every epoch, then resume to the target.
+	ckdir := filepath.Join(work, "ckpts")
+	modelB := filepath.Join(work, "resumed.gob")
+	run(t, filepath.Join(bins, "schedinspect"),
+		append(common, "-epochs", "2", "-checkpoint-dir", ckdir, "-checkpoint-every", "1",
+			"-model", filepath.Join(work, "half.gob"))...)
+	out := run(t, filepath.Join(bins, "schedinspect"),
+		append(common, "-epochs", "4", "-checkpoint-dir", ckdir, "-resume", "-model", modelB)...)
+	if !strings.Contains(out, "resumed from checkpoint at epoch 2") {
+		t.Fatalf("resume not reported:\n%s", out)
+	}
+
+	a, err := os.ReadFile(modelA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(modelB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("resumed model bytes differ from the uninterrupted run")
+	}
+
+	// A checkpoint-keep sweep ran: only the retained files remain, all
+	// named ckpt-*.ckpt.
+	des, err := os.ReadDir(ckdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) == 0 || len(des) > 3 {
+		t.Errorf("checkpoint dir holds %d files, want 1..3 (keep default 3)", len(des))
+	}
+	for _, de := range des {
+		if !strings.HasPrefix(de.Name(), "ckpt-") || !strings.HasSuffix(de.Name(), ".ckpt") {
+			t.Errorf("unexpected file %s in checkpoint dir", de.Name())
+		}
+	}
+
+	// -resume without -checkpoint-dir is refused.
+	cmd := exec.Command(filepath.Join(bins, "schedinspect"),
+		append(common, "-epochs", "4", "-resume", "-model", modelB)...)
+	if err := cmd.Run(); err == nil {
+		t.Error("-resume without -checkpoint-dir accepted")
+	}
+}
+
+// TestCLIServeCheckpointHotSwap serves a raw training checkpoint with
+// inspectord and exercises both reload triggers (admin endpoint, SIGHUP)
+// plus the failure path: a corrupt file on disk must leave the current
+// model serving.
+func TestCLIServeCheckpointHotSwap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test skipped in -short mode")
+	}
+	bins := buildAll(t)
+	work := t.TempDir()
+	swf := filepath.Join(work, "trace.swf.gz")
+	run(t, filepath.Join(bins, "tracegen"), "-trace", "SDSC-SP2", "-jobs", "2000", "-o", swf)
+
+	ckdir := filepath.Join(work, "ckpts")
+	run(t, filepath.Join(bins, "schedinspect"), "train",
+		"-swf", swf, "-policy", "SJF", "-metric", "bsld",
+		"-epochs", "1", "-batch", "4", "-seqlen", "64", "-seed", "42",
+		"-checkpoint-dir", ckdir, "-model", filepath.Join(work, "model.gob"))
+	des, err := os.ReadDir(ckdir)
+	if err != nil || len(des) == 0 {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	ckfile := filepath.Join(ckdir, des[len(des)-1].Name())
+
+	const addr = "127.0.0.1:18643"
+	var srvLog bytes.Buffer
+	srv := exec.Command(filepath.Join(bins, "inspectord"),
+		"-model", ckfile, "-addr", addr, "-seed", "7")
+	srv.Stderr = &srvLog
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+	var resp *http.Response
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("inspectord never came up serving a checkpoint: %v\n%s", err, srvLog.String())
+	}
+	resp.Body.Close()
+
+	// Admin-triggered reload re-reads the checkpoint and bumps generation.
+	resp, err = http.Post("http://"+addr+"/v1/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rl struct {
+		Generation int `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rl); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || rl.Generation != 2 {
+		t.Fatalf("admin reload: status %d, generation %d, want 200/2", resp.StatusCode, rl.Generation)
+	}
+
+	// SIGHUP triggers the same swap.
+	if err := srv.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	if !pollMetrics(t, addr, "schedinspector_model_reloads_total 2") {
+		t.Fatalf("SIGHUP reload not recorded\n%s", srvLog.String())
+	}
+
+	// A corrupt file on disk: reload fails, the old model keeps serving.
+	if err := os.WriteFile(ckfile, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post("http://"+addr+"/v1/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("corrupt reload status %d, want 500", resp.StatusCode)
+	}
+	if !pollMetrics(t, addr, "schedinspector_model_load_failures_total 1") {
+		t.Fatalf("load failure not recorded\n%s", srvLog.String())
+	}
+	body := `{"job":{"wait":120,"est":3600,"procs":16},"free_procs":32,"total_procs":128}`
+	resp, err = http.Post("http://"+addr+"/v1/inspect", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inspect after failed reload: status %d", resp.StatusCode)
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- srv.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("inspectord exit after SIGTERM: %v\n%s", err, srvLog.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("inspectord did not exit after SIGTERM\n%s", srvLog.String())
+	}
+}
+
+// pollMetrics waits for the /metrics page to contain want.
+func pollMetrics(t *testing.T, addr, want string) bool {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		resp, err := http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if strings.Contains(string(b), want) {
+				return true
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return false
+}
+
 func TestCLIEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI smoke test skipped in -short mode")

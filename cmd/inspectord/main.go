@@ -6,12 +6,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/inspect  — scheduling context in, {reject, reject_prob} out
-//	GET  /v1/info     — served model description
-//	GET  /healthz     — alias of /v1/info
-//	GET  /metrics     — Prometheus text exposition (requests, latency,
-//	                    decision counters, reject ratio)
-//	GET  /debug/pprof — CPU/heap/goroutine profiling (only with -pprof)
+//	POST /v1/inspect      — scheduling context in, {reject, reject_prob} out
+//	POST /v1/admin/reload — atomically hot-swap the model from disk
+//	GET  /v1/info         — served model description
+//	GET  /healthz         — alias of /v1/info
+//	GET  /metrics         — Prometheus text exposition (requests, latency,
+//	                        decision counters, reject ratio, model
+//	                        generation and reload counters)
+//	GET  /debug/pprof     — CPU/heap/goroutine profiling (only with -pprof)
+//
+// -model accepts either a saved model (schedinspect train's model.gob) or
+// a training checkpoint file (ckpt-*.ckpt) — checkpoints are servable
+// directly, no export step. SIGHUP re-reads the model path and swaps the
+// result in without dropping in-flight requests, same as the admin
+// endpoint; a failed load keeps the current model serving.
 //
 // The process logs its effective sampling seed at startup (decisions are
 // sampled from the policy, so the seed makes a served run reproducible),
@@ -45,7 +53,7 @@ import (
 
 func main() {
 	var (
-		model    = flag.String("model", "model.gob", "trained model path (see schedinspect train)")
+		model    = flag.String("model", "model.gob", "trained model or checkpoint path (see schedinspect train)")
 		addr     = flag.String("addr", ":8642", "listen address")
 		seed     = flag.Int64("seed", 0, "decision-sampling seed (0 = time-based)")
 		audit    = flag.String("audit", "", "append a JSONL decision audit log (request, features, verdict) to this file")
@@ -60,11 +68,31 @@ func main() {
 	// Served decisions are sampled from the policy; logging the effective
 	// seed makes a run reproducible even when it was time-derived.
 	log.Printf("inspectord: decision-sampling seed %d", *seed)
-	insp, err := core.LoadInspectorFile(*model, rand.New(rand.NewSource(*seed)))
+	// One sampling stream for the process lifetime: reloaded models keep
+	// drawing from it (under the handler's model lock), so a hot-swap does
+	// not rewind the decision sequence.
+	rng := rand.New(rand.NewSource(*seed))
+	load := func() (*core.Inspector, error) { return core.LoadServable(*model, rng) }
+	insp, err := load()
 	if err != nil {
 		log.Fatalf("inspectord: %v", err)
 	}
 	h := serve.NewHandler(insp)
+	h.SetReloader(load)
+
+	// SIGHUP hot-swaps the model from disk, mirroring /v1/admin/reload.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if resp, err := h.Reload(); err != nil {
+				log.Printf("inspectord: SIGHUP reload failed, keeping current model: %v", err)
+			} else {
+				log.Printf("inspectord: SIGHUP reloaded %s (generation %d, %d params)",
+					*model, resp.Generation, resp.Params)
+			}
+		}
+	}()
 
 	if *audit != "" {
 		f, err := os.OpenFile(*audit, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -13,11 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -55,7 +59,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  schedinspect train -trace NAME [-swf FILE] -policy SJF -metric bsld [-epochs N] [-batch N] [-workers N] [-backfill] [-telemetry OUT.csv] -model OUT.gob
+  schedinspect train -trace NAME [-swf FILE] -policy SJF -metric bsld [-epochs N] [-batch N] [-workers N] [-backfill] [-telemetry OUT.csv] [-checkpoint-dir DIR [-checkpoint-every N] [-resume]] -model OUT.gob
   schedinspect eval  -trace NAME [-swf FILE] -policy SJF -metric bsld [-sequences N] [-workers N] [-backfill] -model IN.gob
   schedinspect stats -trace NAME [-swf FILE]
   schedinspect inspect -trace NAME [-swf FILE] -policy SJF -model IN.gob`)
@@ -98,8 +102,15 @@ func cmdTrain(args []string) error {
 	model := fs.String("model", "model.gob", "output model path")
 	telemetry := fs.String("telemetry", "", "write per-epoch training telemetry to this file (.jsonl for JSON lines, otherwise CSV)")
 	workers := fs.Int("workers", 0, "rollout worker goroutines (0 = one per CPU); results are identical at any count")
+	ckptDir := fs.String("checkpoint-dir", "", "write durable training checkpoints to this directory (atomic, CRC-guarded)")
+	ckptEvery := fs.Int("checkpoint-every", 10, "epochs between periodic checkpoints (with -checkpoint-dir)")
+	ckptKeep := fs.Int("checkpoint-keep", 3, "checkpoint files to retain, oldest pruned first (0 = keep all)")
+	resume := fs.Bool("resume", false, "resume from the latest valid checkpoint in -checkpoint-dir")
 	fs.Parse(args)
 
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
 	tr, err := loadTrace(*name, *swf, *jobs, *seed)
 	if err != nil {
 		return err
@@ -139,11 +150,42 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
+	remaining := *epochs
+	if *resume {
+		ck, err := trainer.ResumeLatest(*ckptDir)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		remaining = *epochs - ck.Epoch
+		fmt.Printf("resumed from checkpoint at epoch %d (%d epochs remaining)\n", ck.Epoch, max(remaining, 0))
+		if remaining <= 0 {
+			fmt.Printf("checkpoint already at or past -epochs %d; nothing to train\n", *epochs)
+			return trainer.Inspector().SaveFile(*model)
+		}
+	}
+
+	// SIGINT/SIGTERM finish the in-flight epoch, persist a checkpoint
+	// (when -checkpoint-dir is set) and exit cleanly; a second signal
+	// kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	t0 := time.Now()
-	_, err = trainer.Train(*epochs, func(st insp.EpochStats) {
+	_, err = trainer.TrainCtx(ctx, remaining, core.CheckpointConfig{
+		Dir: *ckptDir, Every: *ckptEvery, Keep: *ckptKeep,
+	}, func(st insp.EpochStats) {
 		fmt.Printf("epoch %3d/%d: improvement %9.2f (%+.1f%%), rejection ratio %.2f\n",
 			st.Epoch, *epochs, st.MeanImprovement, 100*st.MeanPctImprovement, st.RejectionRatio)
 	})
+	if errors.Is(err, core.ErrInterrupted) {
+		stop()
+		if *ckptDir != "" {
+			fmt.Printf("interrupted; checkpoint saved in %s (resume with -resume)\n", *ckptDir)
+			return nil
+		}
+		fmt.Println("interrupted (no -checkpoint-dir, progress discarded)")
+		return nil
+	}
 	if err != nil {
 		return err
 	}

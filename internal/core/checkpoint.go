@@ -1,0 +1,538 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"schedinspector/internal/ckpt"
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/nn"
+	"schedinspector/internal/rl"
+)
+
+// TrainerCheckpointVersion is the payload schema number written into the
+// ckpt container header. Bump it when TrainerCheckpoint changes shape.
+const TrainerCheckpointVersion = 1
+
+// TrainerCheckpoint is the full mutable state of a training run — enough
+// that killing a run after epoch N and resuming from this snapshot
+// produces bit-identical model bytes to never having stopped.
+//
+// The captured set is deliberately exact:
+//
+//   - Policy/Value are the network weights (the model itself).
+//   - Opt holds both Adam optimizers' first/second moments and step
+//     counters; restarting Adam cold would change every post-resume
+//     update even with identical weights.
+//   - Seed and Epoch pin the RNG: every trajectory stream is derived from
+//     (Seed, purpose, epoch, index) via SplitMix64 (see rng.go), so no
+//     generator cursor needs saving — the derivation is the cursor.
+//   - Mode and Norm are the feature contract the weights were trained
+//     under; they make a checkpoint self-describing enough to serve
+//     directly (see Inspector) and let Resume reject a mismatched config.
+type TrainerCheckpoint struct {
+	Epoch  int
+	Seed   int64
+	Mode   FeatureMode
+	Norm   Normalizer
+	Policy *nn.MLP
+	Value  *nn.MLP
+	Opt    rl.OptimizerState
+}
+
+// Checkpoint snapshots the trainer's state. Everything is deep-copied, so
+// the snapshot can be serialized while training continues.
+func (t *Trainer) Checkpoint() *TrainerCheckpoint {
+	return &TrainerCheckpoint{
+		Epoch:  t.epoch,
+		Seed:   t.cfg.Seed,
+		Mode:   t.cfg.FeatureMode,
+		Norm:   t.insp.Norm,
+		Policy: t.insp.Agent.Policy.Clone(),
+		Value:  t.insp.Agent.Value.Clone(),
+		Opt:    t.ppo.OptimizerState(),
+	}
+}
+
+// The payload codec is a hand-rolled binary format (big-endian, float64s
+// as IEEE-754 bits) rather than gob on purpose: gob assigns wire type IDs
+// from a process-global registry in first-use order, so its bytes depend
+// on which other gob types the process touched earlier. A resumed process
+// decodes a checkpoint before saving its model; with gob in the
+// checkpoint path that shifted the model file's type IDs and broke the
+// "resumed run produces bit-identical model bytes" guarantee across
+// process boundaries. The custom codec is canonical: equal state encodes
+// to equal bytes in any process, and Decode rejects trailing junk.
+
+// Encode serializes the checkpoint payload.
+func (c *TrainerCheckpoint) Encode() ([]byte, error) {
+	if c.Policy == nil || c.Value == nil {
+		return nil, fmt.Errorf("core: encode checkpoint: missing networks")
+	}
+	w := &binWriter{}
+	w.i64(int64(c.Epoch))
+	w.i64(c.Seed)
+	w.u32(uint32(c.Mode))
+	w.f64(c.Norm.MaxEst)
+	w.f64(c.Norm.MeanEst)
+	w.i64(int64(c.Norm.MaxProcs))
+	w.i64(int64(c.Norm.MaxRejections))
+	w.f64(c.Norm.MaxInterval)
+	w.u32(uint32(c.Norm.Metric))
+	w.mlp(c.Policy)
+	w.mlp(c.Value)
+	w.adam(c.Opt.Policy)
+	w.adam(c.Opt.Value)
+	return w.buf.Bytes(), nil
+}
+
+// DecodeTrainerCheckpoint parses a payload previously produced by Encode,
+// validating the schema version and internal consistency. It never
+// returns a partially filled checkpoint.
+func DecodeTrainerCheckpoint(version uint32, payload []byte) (*TrainerCheckpoint, error) {
+	if version != TrainerCheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint schema version %d, this build reads %d",
+			version, TrainerCheckpointVersion)
+	}
+	r := &binReader{data: payload}
+	var c TrainerCheckpoint
+	c.Epoch = int(r.i64())
+	c.Seed = r.i64()
+	c.Mode = FeatureMode(r.u32())
+	c.Norm.MaxEst = r.f64()
+	c.Norm.MeanEst = r.f64()
+	c.Norm.MaxProcs = int(r.i64())
+	c.Norm.MaxRejections = int(r.i64())
+	c.Norm.MaxInterval = r.f64()
+	c.Norm.Metric = metrics.Metric(r.u32())
+	c.Policy = r.mlp()
+	c.Value = r.mlp()
+	c.Opt.Policy = r.adam()
+	c.Opt.Value = r.adam()
+	if r.err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint: %w", r.err)
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("core: decode checkpoint: %d trailing bytes", len(r.data)-r.off)
+	}
+	if c.Epoch < 0 {
+		return nil, fmt.Errorf("core: decode checkpoint: negative epoch %d", c.Epoch)
+	}
+	if c.Policy.InputSize() != c.Mode.Dim() {
+		return nil, fmt.Errorf("core: decode checkpoint: policy input %d does not match mode %v (%d)",
+			c.Policy.InputSize(), c.Mode, c.Mode.Dim())
+	}
+	if got, want := c.Value.InputSize(), c.Policy.InputSize(); got != want {
+		return nil, fmt.Errorf("core: decode checkpoint: value input %d, policy input %d", got, want)
+	}
+	return &c, nil
+}
+
+// maxCheckpointDim bounds layer counts and widths read from a checkpoint,
+// so a crafted (CRC-valid) payload cannot demand absurd allocations.
+const maxCheckpointDim = 1 << 20
+
+// binWriter accumulates the canonical big-endian encoding.
+type binWriter struct{ buf bytes.Buffer }
+
+func (w *binWriter) u32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	w.buf.Write(b[:])
+}
+
+func (w *binWriter) i64(v int64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	w.buf.Write(b[:])
+}
+
+func (w *binWriter) f64(v float64) { w.i64(int64(math.Float64bits(v))) }
+
+func (w *binWriter) f64s(s []float64) {
+	w.u32(uint32(len(s)))
+	for _, v := range s {
+		w.f64(v)
+	}
+}
+
+func (w *binWriter) layers(s [][]float64) {
+	w.u32(uint32(len(s)))
+	for _, l := range s {
+		w.f64s(l)
+	}
+}
+
+func (w *binWriter) mlp(m *nn.MLP) {
+	w.u32(uint32(len(m.Sizes)))
+	for _, s := range m.Sizes {
+		w.u32(uint32(s))
+	}
+	w.u32(uint32(len(m.Acts)))
+	for _, a := range m.Acts {
+		w.u32(uint32(a))
+	}
+	w.layers(m.W)
+	w.layers(m.B)
+}
+
+func (w *binWriter) adam(s nn.AdamState) {
+	w.i64(int64(s.T))
+	w.layers(s.MW)
+	w.layers(s.VW)
+	w.layers(s.MB)
+	w.layers(s.VB)
+}
+
+// binReader decodes the canonical encoding with a sticky error and strict
+// bounds checks — a short or forged payload fails, it never over-reads or
+// over-allocates.
+type binReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *binReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *binReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.data)-r.off < n {
+		r.fail("truncated payload: need %d bytes at offset %d, have %d", n, r.off, len(r.data)-r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *binReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *binReader) i64() int64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+func (r *binReader) f64() float64 { return math.Float64frombits(uint64(r.i64())) }
+
+func (r *binReader) f64s() []float64 {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if int64(n)*8 > int64(len(r.data)-r.off) {
+		r.fail("slice length %d exceeds remaining payload", n)
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+func (r *binReader) layers() [][]float64 {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxCheckpointDim {
+		r.fail("layer count %d exceeds limit", n)
+		return nil
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = r.f64s()
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+func (r *binReader) mlp() *nn.MLP {
+	nSizes := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if nSizes < 2 || nSizes > maxCheckpointDim {
+		r.fail("network with %d layer sizes", nSizes)
+		return nil
+	}
+	m := &nn.MLP{Sizes: make([]int, nSizes)}
+	for i := range m.Sizes {
+		s := r.u32()
+		if s == 0 || s > maxCheckpointDim {
+			r.fail("layer size %d out of range", s)
+			return nil
+		}
+		m.Sizes[i] = int(s)
+	}
+	nActs := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if int(nActs) != len(m.Sizes)-1 {
+		r.fail("%d activations for %d weight layers", nActs, len(m.Sizes)-1)
+		return nil
+	}
+	m.Acts = make([]nn.Activation, nActs)
+	for i := range m.Acts {
+		a := r.u32()
+		if a > uint32(nn.ReLU) {
+			r.fail("unknown activation %d", a)
+			return nil
+		}
+		m.Acts[i] = nn.Activation(a)
+	}
+	m.W = r.layers()
+	m.B = r.layers()
+	if r.err != nil {
+		return nil
+	}
+	if len(m.W) != len(m.Sizes)-1 || len(m.B) != len(m.W) {
+		r.fail("network has %d weight and %d bias layers, want %d", len(m.W), len(m.B), len(m.Sizes)-1)
+		return nil
+	}
+	for l := range m.W {
+		if len(m.W[l]) != m.Sizes[l]*m.Sizes[l+1] || len(m.B[l]) != m.Sizes[l+1] {
+			r.fail("layer %d has wrong parameter count", l)
+			return nil
+		}
+	}
+	return m
+}
+
+func (r *binReader) adam() nn.AdamState {
+	var s nn.AdamState
+	s.T = int(r.i64())
+	if r.err == nil && s.T < 0 {
+		r.fail("negative optimizer step count %d", s.T)
+		return s
+	}
+	s.MW = r.layers()
+	s.VW = r.layers()
+	s.MB = r.layers()
+	s.VB = r.layers()
+	return s
+}
+
+// SaveCheckpoint writes the trainer's state to dir (created if needed) as
+// ckpt-<epoch>.ckpt through the atomic, CRC-guarded ckpt container, and
+// returns the file path.
+func (t *Trainer) SaveCheckpoint(dir string) (string, error) {
+	c := t.Checkpoint()
+	payload, err := c.Encode()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("core: checkpoint dir: %w", err)
+	}
+	path := filepath.Join(dir, ckpt.FileName(c.Epoch))
+	if err := ckpt.Write(path, TrainerCheckpointVersion, payload); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadTrainerCheckpoint reads one checkpoint file. Torn or corrupt files
+// fail with an error matching ckpt.ErrCorrupt.
+func LoadTrainerCheckpoint(path string) (*TrainerCheckpoint, error) {
+	version, payload, err := ckpt.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTrainerCheckpoint(version, payload)
+}
+
+// LoadServable loads a servable inspector from path, accepting either a
+// saved model (gob, from Inspector.Save / schedinspect train) or a
+// trainer checkpoint container, sniffed by the ckpt magic. It lets
+// inspectord serve straight from a training run's checkpoint directory
+// artifacts without an export step.
+func LoadServable(path string, rng *rand.Rand) (*Inspector, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if ckpt.IsContainer(data) {
+		version, payload, err := ckpt.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		c, err := DecodeTrainerCheckpoint(version, payload)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return c.Inspector(rng), nil
+	}
+	return LoadInspector(bytes.NewReader(data), rng)
+}
+
+// LatestTrainerCheckpoint returns the newest loadable checkpoint in dir
+// and its path, skipping corrupt files (a torn final write falls back to
+// the previous checkpoint). With no loadable checkpoint the error matches
+// ckpt.ErrNoCheckpoint.
+func LatestTrainerCheckpoint(dir string) (*TrainerCheckpoint, string, error) {
+	entry, version, payload, err := ckpt.Latest(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	c, err := DecodeTrainerCheckpoint(version, payload)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", entry.Path, err)
+	}
+	return c, entry.Path, nil
+}
+
+// Inspector materializes the checkpointed model as a servable inspector —
+// how inspectord serves straight from a training checkpoint. rng drives
+// sampling-mode decisions and may be nil for greedy-only use. The
+// checkpoint's networks are deep-copied so the snapshot stays immutable.
+func (c *TrainerCheckpoint) Inspector(rng *rand.Rand) *Inspector {
+	return &Inspector{
+		Agent: rl.AgentFromNets(c.Policy.Clone(), c.Value.Clone(), rng),
+		Mode:  c.Mode,
+		Norm:  c.Norm,
+	}
+}
+
+// Resume installs a checkpoint into the trainer, which must have been
+// built with the same configuration the checkpointed run used. Seed,
+// feature mode, normalizer and network shapes are all verified — a
+// mismatch would not crash, it would silently break the bit-identical
+// kill-and-resume guarantee, so each is a hard error. On success the
+// trainer continues from epoch c.Epoch+1 exactly as the original run
+// would have.
+func (t *Trainer) Resume(c *TrainerCheckpoint) error {
+	switch {
+	case c.Seed != t.cfg.Seed:
+		return fmt.Errorf("core: resume: checkpoint seed %d, trainer configured with %d", c.Seed, t.cfg.Seed)
+	case c.Mode != t.cfg.FeatureMode:
+		return fmt.Errorf("core: resume: checkpoint feature mode %v, trainer configured with %v",
+			c.Mode, t.cfg.FeatureMode)
+	case c.Norm != t.insp.Norm:
+		return fmt.Errorf("core: resume: checkpoint normalizer %+v does not match the trainer's trace (%+v)",
+			c.Norm, t.insp.Norm)
+	case !reflect.DeepEqual(c.Policy.Sizes, t.insp.Agent.Policy.Sizes):
+		return fmt.Errorf("core: resume: checkpoint policy layers %v, trainer configured with %v",
+			c.Policy.Sizes, t.insp.Agent.Policy.Sizes)
+	case !reflect.DeepEqual(c.Value.Sizes, t.insp.Agent.Value.Sizes):
+		return fmt.Errorf("core: resume: checkpoint value layers %v, trainer configured with %v",
+			c.Value.Sizes, t.insp.Agent.Value.Sizes)
+	}
+	// Install weights first; RestoreOptimizer validates moment shapes
+	// against the (already shape-checked) networks, so a failure here
+	// leaves the trainer unusable only in ways the caller was warned of.
+	t.insp.Agent.Policy = c.Policy.Clone()
+	t.insp.Agent.Value = c.Value.Clone()
+	if err := t.ppo.RestoreOptimizer(c.Opt); err != nil {
+		return fmt.Errorf("core: resume: %w", err)
+	}
+	t.epoch = c.Epoch
+	return nil
+}
+
+// ResumeLatest is the one-call resume path: load the newest valid
+// checkpoint from dir and install it, returning the checkpoint for
+// inspection (its Epoch tells the caller how much work remains).
+func (t *Trainer) ResumeLatest(dir string) (*TrainerCheckpoint, error) {
+	c, _, err := LatestTrainerCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.Resume(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ErrInterrupted reports that TrainCtx stopped early because its context
+// was canceled — after finishing the in-flight epoch and (when a
+// checkpoint directory is configured) persisting a checkpoint.
+var ErrInterrupted = errors.New("core: training interrupted")
+
+// CheckpointConfig controls durable checkpointing during TrainCtx.
+type CheckpointConfig struct {
+	// Dir is the checkpoint directory. Empty disables checkpointing.
+	Dir string
+	// Every saves a checkpoint after each Every-th epoch (0 = only on
+	// interruption and completion).
+	Every int
+	// Keep bounds how many checkpoint files are retained, oldest pruned
+	// first (0 = keep all).
+	Keep int
+}
+
+// TrainCtx runs up to epochs training epochs like Train, with two
+// robustness additions: a checkpoint is written to ck.Dir every ck.Every
+// epochs (atomically — a crash mid-save leaves the previous file), and
+// when ctx is canceled (SIGINT/SIGTERM in the CLI) the in-flight epoch
+// finishes, a final checkpoint is saved, and the run returns the stats so
+// far with an error matching ErrInterrupted. Completion also writes a
+// final checkpoint, so a follow-up run can extend training seamlessly.
+//
+// Epochs are atomic with respect to interruption: checkpoints land only
+// on epoch boundaries, which is what keeps kill-and-resume bit-identical
+// to an uninterrupted run.
+func (t *Trainer) TrainCtx(ctx context.Context, epochs int, ck CheckpointConfig, cb func(EpochStats)) ([]EpochStats, error) {
+	out := make([]EpochStats, 0, epochs)
+	save := func() error {
+		if ck.Dir == "" {
+			return nil
+		}
+		if _, err := t.SaveCheckpoint(ck.Dir); err != nil {
+			return err
+		}
+		return ckpt.Prune(ck.Dir, ck.Keep)
+	}
+	for i := 0; i < epochs; i++ {
+		if err := ctx.Err(); err != nil {
+			if serr := save(); serr != nil {
+				return out, fmt.Errorf("%w; checkpoint failed: %w", ErrInterrupted, serr)
+			}
+			return out, fmt.Errorf("%w after epoch %d: %w", ErrInterrupted, t.epoch, err)
+		}
+		st, err := t.RunEpoch()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+		if cb != nil {
+			cb(st)
+		}
+		if ck.Dir != "" && ck.Every > 0 && t.epoch%ck.Every == 0 && i != epochs-1 {
+			if err := save(); err != nil {
+				return out, err
+			}
+		}
+	}
+	if err := save(); err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomGrads fills a gradient accumulator with deterministic noise.
+func randomGrads(rng *rand.Rand, m *MLP) *Grads {
+	g := NewGrads(m)
+	for l := range g.W {
+		for i := range g.W[l] {
+			g.W[l][i] = rng.NormFloat64()
+		}
+		for i := range g.B[l] {
+			g.B[l][i] = rng.NormFloat64()
+		}
+	}
+	return g
+}
+
+// TestAdamStateRoundTrip is the property checkpointing rests on: snapshot
+// the optimizer mid-run, keep stepping, then restore the snapshot onto a
+// fresh optimizer and replay the same gradients — the parameters must be
+// bit-identical to the uninterrupted run.
+func TestAdamStateRoundTrip(t *testing.T) {
+	build := func() (*MLP, *Adam) {
+		m := New(rand.New(rand.NewSource(5)), []int{4, 8, 2}, Tanh, Identity)
+		return m, NewAdam(m, 1e-3)
+	}
+	gradStream := func() *rand.Rand { return rand.New(rand.NewSource(99)) }
+
+	// Uninterrupted: 6 steps straight.
+	mA, optA := build()
+	rngA := gradStream()
+	for i := 0; i < 6; i++ {
+		optA.Step(mA, randomGrads(rngA, mA))
+	}
+
+	// Interrupted: 3 steps, snapshot weights+optimizer, resume on fresh
+	// instances, 3 more steps with the same gradient stream.
+	mB, optB := build()
+	rngB := gradStream()
+	for i := 0; i < 3; i++ {
+		optB.Step(mB, randomGrads(rngB, mB))
+	}
+	weights := mB.Clone()
+	state := optB.State()
+
+	mC := weights.Clone()
+	optC := NewAdam(mC, 1e-3)
+	if err := optC.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		optC.Step(mC, randomGrads(rngB, mC))
+	}
+
+	if !reflect.DeepEqual(mA.W, mC.W) || !reflect.DeepEqual(mA.B, mC.B) {
+		t.Fatal("restore+step diverged from uninterrupted stepping")
+	}
+}
+
+// TestAdamStateIsDeepCopy checks the snapshot cannot be mutated by later
+// optimizer steps (or vice versa).
+func TestAdamStateIsDeepCopy(t *testing.T) {
+	m := New(rand.New(rand.NewSource(1)), []int{3, 3}, Tanh, Identity)
+	opt := NewAdam(m, 1e-2)
+	rng := rand.New(rand.NewSource(2))
+	opt.Step(m, randomGrads(rng, m))
+	s := opt.State()
+	before := append([]float64(nil), s.MW[0]...)
+	opt.Step(m, randomGrads(rng, m))
+	if !reflect.DeepEqual(before, s.MW[0]) {
+		t.Error("State() aliases the live optimizer buffers")
+	}
+	if s.T != 1 {
+		t.Errorf("snapshot step count %d, want 1", s.T)
+	}
+}
+
+func TestAdamRestoreRejectsShapeMismatch(t *testing.T) {
+	small := New(rand.New(rand.NewSource(1)), []int{3, 3}, Tanh, Identity)
+	big := New(rand.New(rand.NewSource(1)), []int{3, 5, 3}, Tanh, Identity)
+	s := NewAdam(small, 1e-3).State()
+	if err := NewAdam(big, 1e-3).Restore(s); err == nil {
+		t.Error("restore accepted a state with the wrong layer count")
+	}
+	// Same layer count, wrong widths.
+	other := New(rand.New(rand.NewSource(1)), []int{3, 4}, Tanh, Identity)
+	if err := NewAdam(other, 1e-3).Restore(s); err == nil {
+		t.Error("restore accepted a state with the wrong layer widths")
+	}
+	s.T = -1
+	if err := NewAdam(small, 1e-3).Restore(s); err == nil {
+		t.Error("restore accepted a negative step count")
+	}
+}

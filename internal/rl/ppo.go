@@ -60,6 +60,22 @@ func NewAgent(rng *rand.Rand, obsDim int, hidden []int, nActions int) *Agent {
 	}
 }
 
+// AgentFromNets wraps already-built policy and value networks in an agent
+// without reinitializing any weights — the deserialization path (model
+// files, training checkpoints). rng drives action sampling and may be nil
+// when only Greedy, ActionProb or StateValue will be called.
+func AgentFromNets(policy, value *nn.MLP, rng *rand.Rand) *Agent {
+	if policy == nil || value == nil {
+		panic("rl: AgentFromNets needs both networks")
+	}
+	return &Agent{
+		Policy: policy,
+		Value:  value,
+		rng:    rng,
+		probs:  make([]float64, policy.OutputSize()),
+	}
+}
+
 // Clone returns an agent with deep-copied networks, private scratch
 // buffers, and rng as its sampling stream — the read-only policy snapshot a
 // rollout worker owns, which later optimizer steps on the original can
@@ -194,6 +210,31 @@ func NewPPO(agent *Agent, cfg PPOConfig) *PPO {
 		polG:   nn.NewGrads(agent.Policy),
 		valG:   nn.NewGrads(agent.Value),
 	}
+}
+
+// OptimizerState is the serializable state of both Adam optimizers — the
+// part of a PPO trainer that outlives the network weights in a checkpoint.
+type OptimizerState struct {
+	Policy nn.AdamState
+	Value  nn.AdamState
+}
+
+// OptimizerState deep-copies the current optimizer state for
+// checkpointing.
+func (p *PPO) OptimizerState() OptimizerState {
+	return OptimizerState{Policy: p.polOpt.State(), Value: p.valOpt.State()}
+}
+
+// RestoreOptimizer installs a checkpointed optimizer state. Shapes must
+// match the agent the PPO was built for.
+func (p *PPO) RestoreOptimizer(s OptimizerState) error {
+	if err := p.polOpt.Restore(s.Policy); err != nil {
+		return fmt.Errorf("rl: policy optimizer: %w", err)
+	}
+	if err := p.valOpt.Restore(s.Value); err != nil {
+		return fmt.Errorf("rl: value optimizer: %w", err)
+	}
+	return nil
 }
 
 // UpdateStats reports what one PPO update did.

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"schedinspector/internal/core"
+)
+
+// Model hot-swap. A running inspectord can pick up a newly trained model
+// without dropping in-flight requests: the replacement is loaded and
+// validated entirely off the serving path, then installed under the same
+// mutex the request handlers already take, so every request sees either
+// the old model or the new one — never a half-swapped hybrid.
+
+// Swap atomically replaces the served inspector. In-flight requests
+// holding the model lock finish against the model they started with;
+// requests arriving after Swap returns see the new one.
+func (h *Handler) Swap(insp *core.Inspector) {
+	h.mu.Lock()
+	h.insp = insp
+	h.mu.Unlock()
+	h.params.Set(float64(insp.Agent.Policy.NumParams()))
+	h.reloads.Inc()
+	h.generation.Add(1)
+}
+
+// SetReloader installs the function the reload triggers call to produce a
+// replacement model (typically re-reading the model file from disk). Set
+// it once before serving; a nil reloader leaves /v1/admin/reload disabled.
+func (h *Handler) SetReloader(fn func() (*core.Inspector, error)) {
+	h.reloadMu.Lock()
+	h.reloader = fn
+	h.reloadMu.Unlock()
+}
+
+// ReloadResponse reports the outcome of a successful reload.
+type ReloadResponse struct {
+	Generation int `json:"generation"`
+	Params     int `json:"policy_params"`
+}
+
+// Reload runs the configured reloader and swaps the result in. The load
+// happens without holding the model lock, so serving continues at full
+// speed while the replacement is read and validated; a failed load leaves
+// the current model serving and increments the failure counter.
+func (h *Handler) Reload() (ReloadResponse, error) {
+	h.reloadMu.Lock()
+	defer h.reloadMu.Unlock()
+	if h.reloader == nil {
+		return ReloadResponse{}, fmt.Errorf("serve: no reloader configured")
+	}
+	insp, err := h.reloader()
+	if err != nil {
+		h.loadFailures.Inc()
+		return ReloadResponse{}, fmt.Errorf("serve: reload: %w", err)
+	}
+	h.Swap(insp)
+	return ReloadResponse{
+		Generation: int(h.generation.Value()),
+		Params:     insp.Agent.Policy.NumParams(),
+	}, nil
+}
+
+// reload is the POST /v1/admin/reload route.
+func (h *Handler) reload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	h.reloadMu.Lock()
+	configured := h.reloader != nil
+	h.reloadMu.Unlock()
+	if !configured {
+		http.Error(w, "model reload not configured", http.StatusNotImplemented)
+		return
+	}
+	resp, err := h.Reload()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

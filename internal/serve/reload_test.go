@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"schedinspector/internal/core"
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/workload"
+)
+
+// reloadPair builds two distinguishable inspectors over the same feature
+// contract: different hidden sizes mean different parameter counts and a
+// different rejection probability for the same request.
+func reloadPair(t *testing.T) (*core.Inspector, *core.Inspector) {
+	t.Helper()
+	tr := workload.SDSCSP2Like(500, 3)
+	norm := core.NormalizerForTrace(tr, metrics.BSLD)
+	a := core.NewInspector(rand.New(rand.NewSource(1)), core.ManualFeatures, norm, nil)
+	b := core.NewInspector(rand.New(rand.NewSource(2)), core.ManualFeatures, norm, []int{8, 8})
+	return a, b
+}
+
+func postReload(t *testing.T, h http.Handler) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/admin/reload", nil))
+	return rec
+}
+
+func metricsPage(t *testing.T, h http.Handler) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	return rec.Body.String()
+}
+
+func TestReloadSwapsModel(t *testing.T) {
+	a, b := reloadPair(t)
+	h := NewHandler(a)
+	h.SetReloader(func() (*core.Inspector, error) { return b, nil })
+
+	rec := postReload(t, h)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload status %d: %s", rec.Code, rec.Body)
+	}
+	var resp ReloadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 2 {
+		t.Errorf("generation %d after first reload, want 2", resp.Generation)
+	}
+	if want := b.Agent.Policy.NumParams(); resp.Params != want {
+		t.Errorf("params %d, want %d", resp.Params, want)
+	}
+
+	// /v1/info now describes the new model.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/info", nil))
+	var info InfoResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if want := b.Agent.Policy.NumParams(); info.Params != want {
+		t.Errorf("info params %d after swap, want %d", info.Params, want)
+	}
+
+	page := metricsPage(t, h)
+	for _, want := range []string{
+		"schedinspector_model_reloads_total 1",
+		"schedinspector_model_load_failures_total 0",
+		"schedinspector_model_generation 2",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+}
+
+func TestReloadFailureKeepsModel(t *testing.T) {
+	a, _ := reloadPair(t)
+	h := NewHandler(a)
+	boom := errors.New("disk on fire")
+	h.SetReloader(func() (*core.Inspector, error) { return nil, boom })
+
+	rec := postReload(t, h)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("failed reload status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "disk on fire") {
+		t.Errorf("error body %q does not name the cause", rec.Body)
+	}
+
+	// The old model still serves.
+	rec = postInspect(t, h, validRequest())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("inspect after failed reload: status %d", rec.Code)
+	}
+
+	page := metricsPage(t, h)
+	for _, want := range []string{
+		"schedinspector_model_reloads_total 0",
+		"schedinspector_model_load_failures_total 1",
+		"schedinspector_model_generation 1",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("metrics page missing %q", want)
+		}
+	}
+}
+
+func TestReloadNotConfigured(t *testing.T) {
+	a, _ := reloadPair(t)
+	h := NewHandler(a)
+	if rec := postReload(t, h); rec.Code != http.StatusNotImplemented {
+		t.Fatalf("unconfigured reload status %d, want 501", rec.Code)
+	}
+}
+
+func TestReloadRequiresPost(t *testing.T) {
+	a, b := reloadPair(t)
+	h := NewHandler(a)
+	h.SetReloader(func() (*core.Inspector, error) { return b, nil })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/admin/reload", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET reload status %d, want 405", rec.Code)
+	}
+}
+
+// TestSwapUnderLoad hammers /v1/inspect from many goroutines while the
+// model is swapped back and forth. Every response must succeed and report
+// a rejection probability belonging to exactly one of the two models —
+// a torn swap would surface as a third value or a non-200 (and as a data
+// race under -race, which the Makefile race target runs for this package).
+func TestSwapUnderLoad(t *testing.T) {
+	a, b := reloadPair(t)
+	h := NewHandler(a)
+	req := validRequest()
+
+	// Establish each model's deterministic probability for the request.
+	probOf := func(insp *core.Inspector) float64 {
+		t.Helper()
+		h.Swap(insp)
+		rec := postInspect(t, h, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("probe status %d: %s", rec.Code, rec.Body)
+		}
+		var resp InspectResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.RejectProb
+	}
+	probA, probB := probOf(a), probOf(b)
+	if probA == probB {
+		t.Fatalf("test models indistinguishable: both answer %v", probA)
+	}
+
+	const (
+		clients   = 8
+		perClient = 50
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				rec := postInspect(t, h, req)
+				if rec.Code != http.StatusOK {
+					errc <- errors.New(rec.Body.String())
+					return
+				}
+				var resp InspectResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					errc <- err
+					return
+				}
+				if resp.RejectProb != probA && resp.RejectProb != probB {
+					errc <- errors.New("response from neither model")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			h.Swap(b)
+		} else {
+			h.Swap(a)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Errorf("client: %v", err)
+	}
+
+	page := metricsPage(t, h)
+	if !strings.Contains(page, "schedinspector_model_reloads_total 202") {
+		t.Errorf("expected 202 recorded swaps (2 probes + 200 loop); metrics page:\n%s",
+			pageLine(page, "schedinspector_model_reloads_total"))
+	}
+}
+
+// pageLine extracts the metric line for a name, for focused failure output.
+func pageLine(page, name string) string {
+	for _, l := range strings.Split(page, "\n") {
+		if strings.HasPrefix(l, name) {
+			return l
+		}
+	}
+	return "(missing)"
+}

@@ -108,15 +108,24 @@ type Handler struct {
 	insp *core.Inspector
 	mux  *http.ServeMux
 
+	// Hot reload (see reload.go). reloader is set once before serving;
+	// generation counts successful swaps, starting at 1 for the boot model.
+	reloadMu sync.Mutex // serializes reloads, NOT held while serving
+	reloader func() (*core.Inspector, error)
+
 	// Telemetry.
-	reg       *obs.Registry
-	reqMu     sync.Mutex
-	reqCounts map[string]*obs.Counter // "route code" -> requests_total series
-	latency   map[string]*obs.Histogram
-	accepts   *obs.Counter
-	rejects   *obs.Counter
-	rejRatio  *obs.Gauge
-	probHist  *obs.Histogram
+	reg          *obs.Registry
+	reqMu        sync.Mutex
+	reqCounts    map[string]*obs.Counter // "route code" -> requests_total series
+	latency      map[string]*obs.Histogram
+	accepts      *obs.Counter
+	rejects      *obs.Counter
+	rejRatio     *obs.Gauge
+	probHist     *obs.Histogram
+	params       *obs.Gauge
+	reloads      *obs.Counter
+	loadFailures *obs.Counter
+	generation   *obs.Gauge
 
 	auditMu sync.Mutex
 	audit   *json.Encoder // decision audit log (JSONL), nil unless enabled
@@ -142,13 +151,21 @@ func NewHandler(insp *core.Inspector) *Handler {
 	h.probHist = h.reg.Histogram("schedinspector_inspect_reject_prob",
 		"Distribution of the policy's rejection probability.",
 		obs.LinearBuckets(0.1, 0.1, 9), nil)
-	h.reg.Gauge("schedinspector_model_params",
-		"Parameters of the served policy network.", nil).
-		Set(float64(insp.Agent.Policy.NumParams()))
+	h.params = h.reg.Gauge("schedinspector_model_params",
+		"Parameters of the served policy network.", nil)
+	h.params.Set(float64(insp.Agent.Policy.NumParams()))
+	h.reloads = h.reg.Counter("schedinspector_model_reloads_total",
+		"Successful model hot-swaps since start.", nil)
+	h.loadFailures = h.reg.Counter("schedinspector_model_load_failures_total",
+		"Model reload attempts that failed validation or loading.", nil)
+	h.generation = h.reg.Gauge("schedinspector_model_generation",
+		"Generation of the served model (1 = boot model, +1 per swap).", nil)
+	h.generation.Set(1)
 	h.mux.HandleFunc("/v1/inspect", h.instrument("/v1/inspect", h.inspect))
 	h.mux.HandleFunc("/v1/simulate", h.instrument("/v1/simulate", h.simulate))
 	h.mux.HandleFunc("/v1/info", h.instrument("/v1/info", h.info))
 	h.mux.HandleFunc("/healthz", h.instrument("/healthz", h.info))
+	h.mux.HandleFunc("/v1/admin/reload", h.instrument("/v1/admin/reload", h.reload))
 	h.mux.Handle("/metrics", h.reg.Handler())
 	return h
 }

@@ -114,7 +114,21 @@ type (
 	// (worker utilization, trajectory latency, baseline-cache traffic)
 	// into a MetricsRegistry. Set TrainConfig.Metrics / EvalConfig.Metrics.
 	RolloutMetrics = core.RolloutMetrics
+
+	// TrainerCheckpoint is a full snapshot of a training run — weights,
+	// optimizer moments, normalizer, epoch and seed — sufficient to resume
+	// bit-identically (Trainer.Resume) or to serve directly
+	// (TrainerCheckpoint.Inspector).
+	TrainerCheckpoint = core.TrainerCheckpoint
+	// CheckpointConfig enables periodic durable checkpoints during
+	// Trainer.TrainCtx.
+	CheckpointConfig = core.CheckpointConfig
 )
+
+// ErrInterrupted is returned (wrapped) by Trainer.TrainCtx when training
+// stopped early because its context was canceled; a final checkpoint has
+// been written when checkpointing is configured.
+var ErrInterrupted = core.ErrInterrupted
 
 // Metrics.
 const (
@@ -233,6 +247,18 @@ func Evaluate(insp *Inspector, cfg EvalConfig) (EvalResult, error) { return core
 // LoadInspectorFile reads a model saved with Inspector.SaveFile.
 func LoadInspectorFile(path string, rng *rand.Rand) (*Inspector, error) {
 	return core.LoadInspectorFile(path, rng)
+}
+
+// LoadTrainerCheckpoint reads one durable checkpoint file, verifying its
+// container (magic, version, CRC) and payload before returning.
+func LoadTrainerCheckpoint(path string) (*TrainerCheckpoint, error) {
+	return core.LoadTrainerCheckpoint(path)
+}
+
+// LatestTrainerCheckpoint returns the newest loadable checkpoint in dir
+// and its path, falling back past torn or corrupt files.
+func LatestTrainerCheckpoint(dir string) (*TrainerCheckpoint, string, error) {
+	return core.LatestTrainerCheckpoint(dir)
 }
 
 // NormalizerForTrace derives feature scaling constants from a trace, used
