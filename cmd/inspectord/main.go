@@ -70,7 +70,10 @@ func main() {
 	log.Printf("inspectord: decision-sampling seed %d", *seed)
 	// One sampling stream for the process lifetime: reloaded models keep
 	// drawing from it (under the handler's model lock), so a hot-swap does
-	// not rewind the decision sequence.
+	// not rewind the decision sequence. This is safe only because loading
+	// never draws from the stream (LoadServable wires the networks in via
+	// rl.AgentFromNets, no fresh initialization) — the reload path runs off
+	// the model lock, and every actual draw happens under it.
 	rng := rand.New(rand.NewSource(*seed))
 	load := func() (*core.Inspector, error) { return core.LoadServable(*model, rng) }
 	insp, err := load()

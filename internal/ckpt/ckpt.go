@@ -1,7 +1,8 @@
 // Package ckpt implements the durable on-disk checkpoint container the
 // trainer and the serving daemon rely on. It is deliberately dumb about
-// contents — the payload is an opaque byte slice (the trainer gob-encodes
-// its state into it) — and strict about durability:
+// contents — the payload is an opaque byte slice produced by the caller's
+// canonical codec (the trainer's deterministic binary encoding; see
+// internal/core) — and strict about durability:
 //
 //   - Writes are atomic. The container is written to a temporary file in
 //     the destination directory, fsynced, renamed over the final path, and
@@ -39,6 +40,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // IsContainer reports whether data begins with the checkpoint container
@@ -175,7 +177,57 @@ func Write(path string, version uint32, payload []byte) (err error) {
 		}
 		err = nil
 	}
+	// A crash between CreateTemp and Rename strands a *.tmp* file nobody
+	// will ever rename; List ignores them, so without a sweep they pile up
+	// forever. Each successful save clears old strays. Best-effort — a
+	// failed sweep never fails the save that just landed.
+	sweepTemps(dir)
 	return nil
+}
+
+// tempMaxAge is how old a *.tmp* file must be before sweepTemps considers
+// it abandoned. Generous on purpose: a concurrent writer's in-flight temp
+// file is seconds old, a crash leftover is from a previous run.
+const tempMaxAge = time.Hour
+
+// sweepTemps removes abandoned checkpoint temp files from dir: files whose
+// name matches os.CreateTemp's <base>.tmp<digits> pattern and whose mtime
+// is older than tempMaxAge. The age threshold is what makes it safe against
+// concurrent Writes to the same directory.
+func sweepTemps(dir string) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, de := range des {
+		if de.IsDir() || !isTempName(de.Name()) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil || time.Since(info.ModTime()) < tempMaxAge {
+			continue
+		}
+		os.Remove(filepath.Join(dir, de.Name()))
+	}
+}
+
+// isTempName reports whether name looks like a Write temp file:
+// "<base>.tmp" followed by os.CreateTemp's random decimal suffix.
+func isTempName(name string) bool {
+	i := strings.LastIndex(name, ".tmp")
+	if i <= 0 {
+		return false
+	}
+	suffix := name[i+len(".tmp"):]
+	if suffix == "" {
+		return false
+	}
+	for _, r := range suffix {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // Read loads and validates the container at path. Corruption (including

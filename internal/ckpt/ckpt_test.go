@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRoundTrip(t *testing.T) {
@@ -238,5 +239,59 @@ func TestWriteReplacesAtomically(t *testing.T) {
 	version, payload, err := Read(path)
 	if err != nil || version != 2 || string(payload) != "new" {
 		t.Fatalf("overwrite: version=%d payload=%q err=%v", version, payload, err)
+	}
+}
+
+// TestWriteSweepsStaleTemps: a crash between CreateTemp and Rename strands
+// a *.tmp* file that List/Prune ignore; the next successful Write clears
+// strays older than tempMaxAge while leaving fresh temps (a concurrent
+// writer's in-flight file) and unrelated names alone.
+func TestWriteSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, FileName(1)+".tmp123456789")
+	fresh := filepath.Join(dir, FileName(2)+".tmp987654321")
+	unrelated := filepath.Join(dir, "notes.tmpfile")
+	for _, p := range []string{stale, fresh, unrelated} {
+		if err := os.WriteFile(p, []byte("stranded"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	past := time.Now().Add(-2 * tempMaxAge)
+	for _, p := range []string{stale, unrelated} {
+		if err := os.Chtimes(p, past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := Write(filepath.Join(dir, FileName(3)), 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale temp %s survived the sweep (stat err=%v)", stale, err)
+	}
+	for _, p := range []string{fresh, unrelated} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("%s should have survived the sweep: %v", p, err)
+		}
+	}
+}
+
+func TestIsTempName(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"ckpt-00000001.ckpt.tmp123456789", true},
+		{"model.gob.tmp42", true},
+		{"ckpt-00000001.ckpt", false},
+		{"notes.tmpfile", false},
+		{"ckpt-00000001.ckpt.tmp", false}, // CreateTemp always appends digits
+		{".tmp123", false},                // no base name
+	}
+	for _, tc := range cases {
+		if got := isTempName(tc.name); got != tc.want {
+			t.Errorf("isTempName(%q) = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }

@@ -473,7 +473,10 @@ func (t *Trainer) ResumeLatest(dir string) (*TrainerCheckpoint, error) {
 
 // ErrInterrupted reports that TrainCtx stopped early because its context
 // was canceled — after finishing the in-flight epoch and (when a
-// checkpoint directory is configured) persisting a checkpoint.
+// checkpoint directory is configured) persisting a checkpoint. An error
+// matching ErrInterrupted therefore guarantees progress is safe on disk;
+// if the final save fails, TrainCtx returns the save error instead, and
+// it does NOT match ErrInterrupted.
 var ErrInterrupted = errors.New("core: training interrupted")
 
 // CheckpointConfig controls durable checkpointing during TrainCtx.
@@ -512,8 +515,12 @@ func (t *Trainer) TrainCtx(ctx context.Context, epochs int, ck CheckpointConfig,
 	}
 	for i := 0; i < epochs; i++ {
 		if err := ctx.Err(); err != nil {
+			// A failed save must NOT match ErrInterrupted: callers treat
+			// ErrInterrupted as "progress is safe on disk" (the CLI prints
+			// a resume hint and exits 0), so a disk-full or permission
+			// error here has to surface as a plain failure.
 			if serr := save(); serr != nil {
-				return out, fmt.Errorf("%w; checkpoint failed: %w", ErrInterrupted, serr)
+				return out, fmt.Errorf("core: training interrupted after epoch %d, but the final checkpoint save failed (progress NOT persisted): %w", t.epoch, serr)
 			}
 			return out, fmt.Errorf("%w after epoch %d: %w", ErrInterrupted, t.epoch, err)
 		}

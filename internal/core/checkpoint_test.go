@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"os"
+	"path/filepath"
 	"testing"
 
 	"schedinspector/internal/ckpt"
@@ -321,6 +322,36 @@ func TestTrainCtxInterruptAndResume(t *testing.T) {
 	}
 	if c.Epoch != 3 {
 		t.Errorf("final checkpoint epoch %d, want 3", c.Epoch)
+	}
+}
+
+// TestTrainCtxInterruptSaveFailure: when interruption's final checkpoint
+// save fails, the returned error must NOT match ErrInterrupted — callers
+// read ErrInterrupted as "progress is safe on disk" (the CLI prints a
+// resume hint and exits 0), so a disk-full or permission error here has to
+// surface as a plain failure.
+func TestTrainCtxInterruptSaveFailure(t *testing.T) {
+	tr, err := NewTrainer(TrainConfig{
+		Trace: workload.SDSCSP2Like(2500, 6), Policy: sched.SJF(), Metric: metrics.BSLD,
+		Batch: 2, SeqLen: 64, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A regular file where the checkpoint directory should be makes
+	// MkdirAll (and therefore every save) fail.
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = tr.TrainCtx(ctx, 3, CheckpointConfig{Dir: blocker}, nil)
+	if err == nil {
+		t.Fatal("TrainCtx reported success with an unwritable checkpoint dir")
+	}
+	if errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err=%v matches ErrInterrupted; a failed save must not look like a clean interruption", err)
 	}
 }
 

@@ -130,7 +130,10 @@ func (in *Inspector) Save(w io.Writer) error {
 }
 
 // LoadInspector reads an inspector written by Save. The returned model uses
-// rng for any sampling-mode exploration.
+// rng for any sampling-mode exploration. Loading never draws from rng —
+// the networks come from the stream, not from fresh initialization — so a
+// caller may hand over an rng that concurrent decision paths are sampling
+// from under their own lock (inspectord's hot-reload does exactly that).
 func LoadInspector(r io.Reader, rng *rand.Rand) (*Inspector, error) {
 	var s savedInspector
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
@@ -143,10 +146,11 @@ func LoadInspector(r io.Reader, rng *rand.Rand) (*Inspector, error) {
 		return nil, fmt.Errorf("core: load inspector: policy input %d does not match mode %v (%d)",
 			s.Policy.InputSize(), s.Mode, s.Mode.Dim())
 	}
-	agent := rl.NewAgent(rng, s.Policy.InputSize(), DefaultHidden(), s.Policy.OutputSize())
-	agent.Policy = s.Policy
-	agent.Value = s.Value
-	return &Inspector{Agent: agent, Mode: s.Mode, Norm: s.Norm}, nil
+	if s.Policy.OutputSize() < 2 {
+		return nil, fmt.Errorf("core: load inspector: policy has %d actions, need at least 2",
+			s.Policy.OutputSize())
+	}
+	return &Inspector{Agent: rl.AgentFromNets(s.Policy, s.Value, rng), Mode: s.Mode, Norm: s.Norm}, nil
 }
 
 // SaveFile writes the inspector to path.

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -213,6 +214,65 @@ func TestSwapUnderLoad(t *testing.T) {
 		t.Errorf("expected 202 recorded swaps (2 probes + 200 loop); metrics page:\n%s",
 			pageLine(page, "schedinspector_model_reloads_total"))
 	}
+}
+
+// TestReloadFromDiskUnderLoad mirrors cmd/inspectord's wiring exactly: one
+// process-lifetime sampling rng shared between the serving path (which
+// draws from it under the model lock) and the reload closure (which loads
+// the model file off the lock, by design, so serving never stalls on I/O).
+// That sharing is only sound because loading never draws from the rng —
+// core.LoadInspector installs the stored networks via rl.AgentFromNets
+// instead of initializing throwaway ones — and this test pins it: it runs
+// real disk loads concurrently with live /v1/inspect sampling, so any
+// draw on the load path is a data race under -race (which the Makefile
+// race target runs for this package).
+func TestReloadFromDiskUnderLoad(t *testing.T) {
+	a, _ := reloadPair(t)
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := a.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	boot, err := core.LoadServable(path, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(boot)
+	h.SetReloader(func() (*core.Inspector, error) { return core.LoadServable(path, rng) })
+
+	body, err := json.Marshal(validRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 4
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if rec := postInspect(t, h, string(body)); rec.Code != http.StatusOK {
+					t.Errorf("inspect status %d: %s", rec.Code, rec.Body)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := h.Reload(); err != nil {
+			t.Errorf("reload %d: %v", i, err)
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
 }
 
 // pageLine extracts the metric line for a name, for focused failure output.
