@@ -8,12 +8,22 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all build vet fmt-check test test-short race bench bench-env bench-check equiv fuzz-smoke verify
+# Build identity stamped into the binaries (schedinspect version, the
+# build_info metric on /metrics). git describe when available, "dev" in
+# tarball builds.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags '-X schedinspector/internal/version.Version=$(VERSION)'
+
+.PHONY: all build bin vet fmt-check test test-short race bench bench-env bench-check equiv fuzz-smoke trace-smoke verify
 
 all: build
 
 build:
 	$(GO) build ./...
+
+# bin builds the version-stamped command binaries into ./bin/.
+bin:
+	$(GO) build $(LDFLAGS) -o bin/ ./cmd/...
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +64,20 @@ bench-check:
 # the verbatim seed implementations, bit for bit, under the race detector.
 equiv:
 	$(GO) test -race -run 'Equiv' -count=1 ./internal/sim/ ./internal/core/
+
+# trace-smoke exercises the decision flight recorder end to end at smoke
+# scale: a tiny training run records a flight trace, and every explain
+# query plus the expreport reject plot must run clean over it.
+trace-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run $(LDFLAGS) ./cmd/schedinspect train -trace SDSC-SP2 -jobs 2000 \
+		-epochs 1 -batch 4 -seqlen 64 -seed 42 \
+		-flight $$tmp/flight.jsonl -model $$tmp/model.gob && \
+	$(GO) run ./cmd/schedinspect explain -in $$tmp/flight.jsonl && \
+	$(GO) run ./cmd/schedinspect explain -in $$tmp/flight.jsonl -feature-stats && \
+	$(GO) run ./cmd/schedinspect explain -in $$tmp/flight.jsonl -top-rejected 5 && \
+	$(GO) run ./cmd/expreport -rejects $$tmp/flight.jsonl && \
+	rm -rf $$tmp
 
 # fuzz-smoke gives every fuzz target a short budget (override with
 # FUZZTIME=...) — enough to catch shallow parser/decoder regressions on

@@ -573,3 +573,144 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Errorf("graceful shutdown not logged:\n%s", logOut)
 	}
 }
+
+// TestCLIFlightRecorder smoke-tests the decision flight recorder end to
+// end: train with -flight, query the trace with schedinspect explain,
+// plot it with expreport -rejects, and read back served decisions from
+// inspectord's /v1/explain/last. The -workers 1 vs -workers 4 runs must
+// produce identical feature-stats — the explain records are keyed by
+// stable (epoch, trajectory, sequence) IDs, not by execution order.
+func TestCLIFlightRecorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke test skipped in -short mode")
+	}
+	bins := buildAll(t)
+	work := t.TempDir()
+	swf := filepath.Join(work, "trace.swf.gz")
+	model := filepath.Join(work, "model.gob")
+	run(t, filepath.Join(bins, "tracegen"), "-trace", "SDSC-SP2", "-jobs", "3000", "-o", swf)
+
+	common := []string{"train", "-swf", swf, "-policy", "SJF", "-metric", "bsld",
+		"-epochs", "2", "-batch", "4", "-seqlen", "64", "-seed", "42"}
+	flight1 := filepath.Join(work, "flight-w1.jsonl")
+	flight4 := filepath.Join(work, "flight-w4.jsonl")
+	out := run(t, filepath.Join(bins, "schedinspect"),
+		append(common, "-workers", "1", "-flight", flight1, "-model", model)...)
+	if !strings.Contains(out, "flight trace written") {
+		t.Fatalf("flight trace not reported:\n%s", out)
+	}
+	run(t, filepath.Join(bins, "schedinspect"),
+		append(common, "-workers", "4", "-flight", flight4, "-model", filepath.Join(work, "m4.gob"))...)
+
+	// Default summary names the trace contents.
+	out = run(t, filepath.Join(bins, "schedinspect"), "explain", "-in", flight1)
+	if !strings.Contains(out, "decisions") || !strings.Contains(out, "manual features") {
+		t.Fatalf("explain summary unexpected:\n%s", out)
+	}
+
+	// Worker-count independence, through the whole CLI pipeline: the
+	// reject-attribution tables from the two runs are byte-identical.
+	stats1 := run(t, filepath.Join(bins, "schedinspect"), "explain", "-in", flight1, "-feature-stats")
+	stats4 := run(t, filepath.Join(bins, "schedinspect"), "explain", "-in", flight4, "-feature-stats")
+	if stats1 != stats4 {
+		t.Fatalf("feature-stats differ across worker counts:\n-- workers=1:\n%s\n-- workers=4:\n%s", stats1, stats4)
+	}
+	if !strings.Contains(stats1, "mean(accept)") || !strings.Contains(stats1, "queue_delays") {
+		t.Fatalf("feature-stats output unexpected:\n%s", stats1)
+	}
+
+	// And re-running the same query is deterministic.
+	if again := run(t, filepath.Join(bins, "schedinspect"), "explain", "-in", flight1, "-feature-stats"); again != stats1 {
+		t.Fatal("explain -feature-stats not deterministic across invocations")
+	}
+
+	// Top-rejected and window queries produce their tables.
+	out = run(t, filepath.Join(bins, "schedinspect"), "explain", "-in", flight1, "-top-rejected", "5")
+	if !strings.Contains(out, "rejects") {
+		t.Fatalf("top-rejected output unexpected:\n%s", out)
+	}
+	out = run(t, filepath.Join(bins, "schedinspect"), "explain", "-in", flight1, "-window", "0:1e12")
+	if !strings.Contains(out, "verdict") {
+		t.Fatalf("window output unexpected:\n%s", out)
+	}
+
+	// expreport -rejects plots the reject-rate-vs-utilization curve.
+	out = run(t, filepath.Join(bins, "expreport"), "-rejects", flight1)
+	if !strings.Contains(out, "reject rate vs utilization") || !strings.Contains(out, "0.9-1.0") {
+		t.Fatalf("expreport -rejects unexpected:\n%s", out)
+	}
+
+	// version subcommand reports the stamped build identity.
+	out = run(t, filepath.Join(bins, "schedinspect"), "version")
+	if !strings.Contains(out, "schedinspect") || !strings.Contains(out, "go1.") {
+		t.Fatalf("version output unexpected:\n%s", out)
+	}
+
+	// inspectord: served decisions land in /v1/explain/last, and /metrics
+	// carries build_info plus the runtime self-profiling gauges.
+	const addr = "127.0.0.1:18644"
+	var srvLog bytes.Buffer
+	srv := exec.Command(filepath.Join(bins, "inspectord"),
+		"-model", model, "-addr", addr, "-seed", "7", "-proc-interval", "50ms")
+	srv.Stderr = &srvLog
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+	var (
+		resp *http.Response
+		err  error
+	)
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("inspectord never came up: %v\n%s", err, srvLog.String())
+	}
+	resp.Body.Close()
+
+	body := `{"job":{"wait":120,"est":3600,"procs":16},"free_procs":32,"total_procs":128}`
+	for i := 0; i < 3; i++ {
+		resp, err = http.Post("http://"+addr+"/v1/inspect", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err = http.Get("http://" + addr + "/v1/explain/last?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last struct {
+		Total        int      `json:"total"`
+		FeatureNames []string `json:"feature_names"`
+		Records      []struct {
+			Seq      int  `json:"seq"`
+			Sampled  bool `json:"sampled"`
+			Rejected bool `json:"rejected"`
+		} `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&last); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if last.Total != 3 || len(last.Records) != 2 || len(last.FeatureNames) == 0 {
+		t.Fatalf("/v1/explain/last: %+v", last)
+	}
+	if last.Records[1].Seq != 2 || !last.Records[1].Sampled {
+		t.Fatalf("/v1/explain/last records: %+v", last.Records)
+	}
+
+	if !pollMetrics(t, addr, "schedinspector_build_info") {
+		t.Fatalf("build_info missing from /metrics\n%s", srvLog.String())
+	}
+	if !pollMetrics(t, addr, "schedinspector_goroutines") {
+		t.Fatalf("proc sampler gauges missing from /metrics\n%s", srvLog.String())
+	}
+	srv.Process.Signal(syscall.SIGTERM)
+	srv.Wait()
+}

@@ -48,17 +48,21 @@ import (
 	"time"
 
 	"schedinspector/internal/core"
+	"schedinspector/internal/obs"
 	"schedinspector/internal/serve"
+	"schedinspector/internal/version"
 )
 
 func main() {
 	var (
-		model    = flag.String("model", "model.gob", "trained model or checkpoint path (see schedinspect train)")
-		addr     = flag.String("addr", ":8642", "listen address")
-		seed     = flag.Int64("seed", 0, "decision-sampling seed (0 = time-based)")
-		audit    = flag.String("audit", "", "append a JSONL decision audit log (request, features, verdict) to this file")
-		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		drainFor = flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
+		model      = flag.String("model", "model.gob", "trained model or checkpoint path (see schedinspect train)")
+		addr       = flag.String("addr", ":8642", "listen address")
+		seed       = flag.Int64("seed", 0, "decision-sampling seed (0 = time-based)")
+		audit      = flag.String("audit", "", "append a JSONL decision audit log (request, features, verdict) to this file")
+		auditMaxMB = flag.Int("audit-max-mb", 64, "rotate the audit log when it exceeds this many MiB, keeping one previous generation (0 = unlimited)")
+		procEvery  = flag.Duration("proc-interval", 30*time.Second, "runtime self-profiling snapshot interval (0 disables)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		drainFor   = flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 	)
 	flag.Parse()
 
@@ -98,13 +102,24 @@ func main() {
 	}()
 
 	if *audit != "" {
-		f, err := os.OpenFile(*audit, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		w, err := serve.NewRotatingWriter(*audit, int64(*auditMaxMB)<<20)
 		if err != nil {
 			log.Fatalf("inspectord: audit log: %v", err)
 		}
-		defer f.Close()
-		h.SetAuditSink(f)
-		log.Printf("inspectord: auditing decisions to %s", *audit)
+		defer w.Close()
+		h.SetAuditSink(w)
+		if *auditMaxMB > 0 {
+			log.Printf("inspectord: auditing decisions to %s (rotating at %d MiB)", *audit, *auditMaxMB)
+		} else {
+			log.Printf("inspectord: auditing decisions to %s", *audit)
+		}
+	}
+
+	version.Register(h.Registry(), insp.Mode.String())
+	if *procEvery > 0 {
+		ps := obs.NewProcSampler(obs.DefaultProcCap, h.Registry())
+		stopProc := ps.Start(*procEvery)
+		defer stopProc()
 	}
 
 	mux := http.NewServeMux()
@@ -118,8 +133,8 @@ func main() {
 		log.Printf("inspectord: pprof enabled on /debug/pprof/")
 	}
 
-	log.Printf("inspectord: serving %s model (%s features, cluster %d) on %s",
-		insp.Norm.Metric, insp.Mode, insp.Norm.MaxProcs, *addr)
+	log.Printf("inspectord: %s serving %s model (%s features, cluster %d) on %s",
+		version.String(), insp.Norm.Metric, insp.Mode, insp.Norm.MaxProcs, *addr)
 
 	srv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

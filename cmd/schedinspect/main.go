@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"text/tabwriter"
@@ -27,6 +28,8 @@ import (
 
 	insp "schedinspector"
 	"schedinspector/internal/core"
+	"schedinspector/internal/explain"
+	"schedinspector/internal/version"
 )
 
 func main() {
@@ -44,6 +47,10 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "version":
+		fmt.Println("schedinspect", version.String())
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -62,7 +69,12 @@ func usage() {
   schedinspect train -trace NAME [-swf FILE] -policy SJF -metric bsld [-epochs N] [-batch N] [-workers N] [-backfill] [-telemetry OUT.csv] [-checkpoint-dir DIR [-checkpoint-every N] [-resume]] -model OUT.gob
   schedinspect eval  -trace NAME [-swf FILE] -policy SJF -metric bsld [-sequences N] [-workers N] [-backfill] -model IN.gob
   schedinspect stats -trace NAME [-swf FILE]
-  schedinspect inspect -trace NAME [-swf FILE] -policy SJF -model IN.gob`)
+  schedinspect inspect -trace NAME [-swf FILE] -policy SJF -model IN.gob
+  schedinspect explain -in FLIGHT.jsonl [-job ID | -window T0:T1 | -top-rejected N | -feature-stats]
+  schedinspect version
+
+train and eval accept -flight OUT.jsonl to record a decision flight trace
+(spans + per-decision explain records) for schedinspect explain.`)
 }
 
 // traceFlags adds the shared trace-selection flags to fs.
@@ -106,6 +118,7 @@ func cmdTrain(args []string) error {
 	ckptEvery := fs.Int("checkpoint-every", 10, "epochs between periodic checkpoints (with -checkpoint-dir)")
 	ckptKeep := fs.Int("checkpoint-keep", 3, "checkpoint files to retain, oldest pruned first (0 = keep all)")
 	resume := fs.Bool("resume", false, "resume from the latest valid checkpoint in -checkpoint-dir")
+	flight := fs.String("flight", "", "record a decision flight trace (spans + explain records, JSONL) to this file")
 	fs.Parse(args)
 
 	if *resume && *ckptDir == "" {
@@ -145,6 +158,17 @@ func cmdTrain(args []string) error {
 		} else {
 			cfg.Logger = core.NewCSVTrainLogger(f)
 		}
+	}
+	var flightRec *insp.FlightRecorder
+	if *flight != "" {
+		f, err := os.Create(*flight)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		flightRec = insp.NewFlightRecorder(0, 0)
+		flightRec.SetSink(f)
+		cfg.Flight = flightRec
 	}
 	trainer, err := insp.NewTrainer(cfg)
 	if err != nil {
@@ -194,6 +218,12 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	fmt.Printf("model saved to %s\n", *model)
+	if flightRec != nil {
+		if err := flightRec.SinkErr(); err != nil {
+			return fmt.Errorf("flight trace: %w", err)
+		}
+		fmt.Printf("flight trace written to %s (inspect with: schedinspect explain -in %s)\n", *flight, *flight)
+	}
 	return nil
 }
 
@@ -207,6 +237,7 @@ func cmdEval(args []string) error {
 	backfill := fs.Bool("backfill", false, "enable EASY backfilling")
 	model := fs.String("model", "model.gob", "trained model path")
 	workers := fs.Int("workers", 0, "rollout worker goroutines (0 = one per CPU); results are identical at any count")
+	flight := fs.String("flight", "", "record a decision flight trace (spans + explain records, JSONL) to this file")
 	fs.Parse(args)
 
 	tr, err := loadTrace(*name, *swf, *jobs, *seed)
@@ -227,13 +258,31 @@ func cmdEval(args []string) error {
 	}
 	// Rebind feature normalization to the evaluation trace (cross-trace use).
 	mod = mod.WithNormalizer(insp.NormalizerForTrace(tr, m))
-	res, err := insp.Evaluate(mod, insp.EvalConfig{
+	evalCfg := insp.EvalConfig{
 		Trace: tr, Policy: pol, Metric: m, Backfill: *backfill,
 		Sequences: *sequences, SeqLen: *seqLen, Seed: *seed,
 		Workers: *workers,
-	})
+	}
+	var flightRec *insp.FlightRecorder
+	if *flight != "" {
+		f, err := os.Create(*flight)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		flightRec = insp.NewFlightRecorder(0, 0)
+		flightRec.SetSink(f)
+		evalCfg.Flight = flightRec
+	}
+	res, err := insp.Evaluate(mod, evalCfg)
 	if err != nil {
 		return err
+	}
+	if flightRec != nil {
+		if err := flightRec.SinkErr(); err != nil {
+			return fmt.Errorf("flight trace: %w", err)
+		}
+		fmt.Printf("flight trace written to %s (inspect with: schedinspect explain -in %s)\n", *flight, *flight)
 	}
 	base, ins := res.Boxes(m)
 	fmt.Printf("metric %s over %d sequences of %d jobs (%s, backfill=%v):\n",
@@ -312,6 +361,64 @@ func cmdInspect(args []string) error {
 			c.Total.At(0.75), c.Rejected.At(0.75))
 	}
 	return tw.Flush()
+}
+
+// cmdExplain queries a recorded decision flight trace: the offline half of
+// the flight recorder, answering "why was job X rejected" from the JSONL
+// file a train/eval -flight run (or inspectord) wrote.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	in := fs.String("in", "flight.jsonl", "flight-recorder JSONL trace to read")
+	job := fs.Int("job", -1, "print every decision about this job ID")
+	window := fs.String("window", "", "print decisions in a simulation-time window T0:T1 (seconds)")
+	topRejected := fs.Int("top-rejected", 0, "print the N most-rejected jobs")
+	featureStats := fs.Bool("feature-stats", false, "print per-feature accept/reject means and deltas (the §5 reject attribution)")
+	fs.Parse(args)
+
+	tr, err := explain.ReadTraceFile(*in)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *job >= 0:
+		recs := tr.JobTimeline(*job)
+		if len(recs) == 0 {
+			fmt.Printf("no decisions about job %d in %s\n", *job, *in)
+			return nil
+		}
+		return explain.WriteRecords(os.Stdout, recs)
+	case *window != "":
+		t0s, t1s, ok := strings.Cut(*window, ":")
+		if !ok {
+			return fmt.Errorf("-window wants T0:T1, got %q", *window)
+		}
+		t0, err0 := strconv.ParseFloat(t0s, 64)
+		t1, err1 := strconv.ParseFloat(t1s, 64)
+		if err0 != nil || err1 != nil || t1 <= t0 {
+			return fmt.Errorf("-window wants numeric T0:T1 with T1 > T0, got %q", *window)
+		}
+		return explain.WriteRecords(os.Stdout, tr.Window(t0, t1))
+	case *topRejected > 0:
+		return explain.WriteTopRejected(os.Stdout, tr.TopRejected(*topRejected))
+	case *featureStats:
+		stats, acc, rej := tr.FeatureStats()
+		return explain.WriteFeatureStats(os.Stdout, stats, acc, rej)
+	default:
+		rejects := 0
+		for _, r := range tr.Records {
+			if r.Rejected {
+				rejects++
+			}
+		}
+		mode := "(no header)"
+		if tr.Header != nil {
+			mode = tr.Header.Mode
+		}
+		fmt.Printf("%s: %d decisions (%d rejected), %d spans, %s features\n",
+			*in, len(tr.Records), rejects, len(tr.Spans), mode)
+		fmt.Println("use -job, -window, -top-rejected or -feature-stats to drill in")
+		return nil
+	}
 }
 
 func parseFeatures(s string) (insp.FeatureMode, error) {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"schedinspector/internal/metrics"
+	"schedinspector/internal/obs"
 	"schedinspector/internal/rollout"
 	"schedinspector/internal/sched"
 	"schedinspector/internal/sim"
@@ -37,6 +38,12 @@ type EvalConfig struct {
 	// Metrics, when non-nil, receives worker-utilization and per-sequence
 	// latency observations (see NewRolloutMetrics).
 	Metrics *RolloutMetrics
+
+	// Flight, when non-nil, attaches the decision flight recorder: an
+	// "eval" span roots per-episode and per-decision spans, and every
+	// inspector decision records an explain record (Epoch 0; Traj is the
+	// episode slot — inspected arms occupy slots Sequences..2*Sequences-1).
+	Flight *obs.FlightRecorder
 }
 
 func (c EvalConfig) withDefaults() EvalConfig {
@@ -210,14 +217,28 @@ func Evaluate(insp *Inspector, cfg EvalConfig) (EvalResult, error) {
 		episodes[n+i] = rollout.Episode{Jobs: jobs, Cfg: mkCfg(n + i), Interactive: insp != nil}
 	}
 	var decide rollout.Decide
+	var sampler *waveSampler
 	if insp != nil {
 		if cfg.Greedy {
 			rngs = nil // argmax decisions consume no randomness
 		}
-		decide = newWaveSampler(insp.Clone(nil), rngs, 0, false).decide
+		sampler = newWaveSampler(insp.Clone(nil), rngs, 0, false)
+		decide = sampler.decide
 	}
 
-	results, rep, err := rollout.Run(episodes, rollout.Config{Workers: workers, Decide: decide})
+	rollCfg := rollout.Config{Workers: workers, Decide: decide}
+	var evalSpan obs.Span
+	if cfg.Flight != nil {
+		evalID := obs.DeriveSpanID(uint64(cfg.Seed), streamEval)
+		evalSpan = obs.StartSpan("eval", evalID, 0, 0)
+		rollCfg.Spans = cfg.Flight.SpanTracer()
+		rollCfg.SpanRoot = evalID
+		if insp != nil {
+			cfg.Flight.Explains().SetMeta(insp.Mode.FeatureNames(), insp.Mode.String(), cfg.MaxRejections)
+			sampler.explainTo(cfg.Flight.Explains(), 0, cfg.MaxRejections)
+		}
+	}
+	results, rep, err := rollout.Run(episodes, rollCfg)
 	cfg.Metrics.observeRollout(workers, rep.Busy.Seconds(), rep.Wall.Seconds())
 	if cfg.Metrics != nil {
 		for i := 0; i < n; i++ {
@@ -236,6 +257,15 @@ func Evaluate(insp *Inspector, cfg EvalConfig) (EvalResult, error) {
 		out.Insp = append(out.Insp, results[n+i].Summary(cfg.Trace.MaxProcs))
 		out.Inspections += results[n+i].Inspections
 		out.Rejections += results[n+i].Rejections
+	}
+	if cfg.Flight != nil {
+		evalSpan.Attrs = append(evalSpan.Attrs,
+			obs.Attr{Key: "sequences", Num: float64(n)},
+			obs.Attr{Key: "inspections", Num: float64(out.Inspections)},
+			obs.Attr{Key: "rejections", Num: float64(out.Rejections)},
+		)
+		evalSpan.End(0)
+		cfg.Flight.SpanTracer().Emit(evalSpan)
 	}
 	return out, nil
 }

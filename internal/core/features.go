@@ -219,3 +219,31 @@ func ManualFeatureNames() []string {
 		"rejected_times", "queue_delays", "free_nodes", "runnable", "backfill_contributions",
 	}
 }
+
+// FeatureNames labels the feature vector of any mode, index-aligned with
+// Normalizer.Features output — the explain-record header that lets the
+// analysis layer report per-feature statistics by name.
+func (m FeatureMode) FeatureNames() []string {
+	switch m {
+	case ManualFeatures:
+		return ManualFeatureNames()
+	case CompactedFeatures:
+		return []string{
+			"waiting_time", "job_execution_time", "requested_nodes", "free_nodes", "runnable",
+		}
+	case NativeFeatures:
+		names := []string{
+			"waiting_time", "job_execution_time", "requested_nodes",
+			"rejected_times", "free_nodes", "runnable",
+		}
+		for i := 0; i < NativeQueueSlots; i++ {
+			names = append(names,
+				fmt.Sprintf("queue%d_wait", i),
+				fmt.Sprintf("queue%d_est", i),
+				fmt.Sprintf("queue%d_procs", i),
+			)
+		}
+		return names
+	}
+	panic("core: unknown feature mode")
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/obs"
+	"schedinspector/internal/sched"
+	"schedinspector/internal/workload"
+)
+
+// sortRecords order-normalizes explain records: the ring order of a
+// multi-worker run is scheduler-dependent, but the set keyed by
+// (Epoch, Traj, Seq) must be identical across worker counts.
+func sortRecords(recs []obs.ExplainRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.Epoch != b.Epoch {
+			return a.Epoch < b.Epoch
+		}
+		if a.Traj != b.Traj {
+			return a.Traj < b.Traj
+		}
+		return a.Seq < b.Seq
+	})
+}
+
+// trainFlight runs a short training with the flight recorder attached and
+// returns the order-normalized explain records plus the set of span IDs.
+func trainFlight(t *testing.T, tr *workload.Trace, workers int) ([]obs.ExplainRecord, map[obs.SpanID]bool) {
+	t.Helper()
+	flight := obs.NewFlightRecorder(1<<16, 1<<16)
+	trainer, err := NewTrainer(TrainConfig{
+		Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
+		Batch: 6, SeqLen: 64, Seed: 11, Workers: workers, Flight: flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trainer.Train(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if flight.Spans.Dropped() > 0 || flight.Decisions.Total() > 1<<16 {
+		t.Fatalf("ring overflow invalidates the comparison; raise capacities")
+	}
+	recs := flight.Decisions.Records()
+	sortRecords(recs)
+	ids := make(map[obs.SpanID]bool)
+	for _, sp := range flight.Spans.Spans() {
+		ids[sp.ID] = true
+	}
+	return recs, ids
+}
+
+// TestFlightRecorderWorkerEquivalence is the acceptance pin: with tracing
+// enabled, workers=1 and workers=8 runs over the same seed produce the
+// identical set of explain records (order-normalized) and the identical set
+// of span IDs.
+func TestFlightRecorderWorkerEquivalence(t *testing.T) {
+	tr := workload.SDSCSP2Like(3000, 7)
+	seqRecs, seqIDs := trainFlight(t, tr, 1)
+	parRecs, parIDs := trainFlight(t, tr, 8)
+	if len(seqRecs) == 0 {
+		t.Fatal("training recorded no explain records")
+	}
+	if len(seqRecs) != len(parRecs) {
+		t.Fatalf("record counts differ: workers=1 %d vs workers=8 %d", len(seqRecs), len(parRecs))
+	}
+	for i := range seqRecs {
+		if !reflect.DeepEqual(seqRecs[i], parRecs[i]) {
+			t.Fatalf("record %d differs between worker counts:\n  workers=1: %+v\n  workers=8: %+v",
+				i, seqRecs[i], parRecs[i])
+		}
+	}
+	if !reflect.DeepEqual(seqIDs, parIDs) {
+		t.Fatalf("span ID sets differ: workers=1 has %d, workers=8 has %d", len(seqIDs), len(parIDs))
+	}
+}
+
+// TestEvaluateFlightEquivalence covers the evaluation path: same explain
+// record set at any worker count, both stochastic and greedy.
+func TestEvaluateFlightEquivalence(t *testing.T) {
+	tr := workload.SDSCSP2Like(3000, 6)
+	insp := newTestInspector(t, ManualFeatures)
+	for _, greedy := range []bool{false, true} {
+		run := func(workers int) []obs.ExplainRecord {
+			flight := obs.NewFlightRecorder(1<<15, 1<<15)
+			_, err := Evaluate(insp, EvalConfig{
+				Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
+				Sequences: 6, SeqLen: 64, Seed: 3, Workers: workers,
+				Greedy: greedy, Flight: flight,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs := flight.Decisions.Records()
+			sortRecords(recs)
+			return recs
+		}
+		seq, par := run(1), run(8)
+		if len(seq) == 0 {
+			t.Fatalf("greedy=%v: evaluation recorded no explain records", greedy)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("greedy=%v: explain records differ between worker counts", greedy)
+		}
+		for _, r := range seq {
+			if r.Sampled == greedy {
+				t.Fatalf("greedy=%v: record claims Sampled=%v", greedy, r.Sampled)
+			}
+			if len(r.Features) != ManualFeatures.Dim() || len(r.Logits) != 2 || len(r.Probs) != 2 {
+				t.Fatalf("record shapes wrong: %+v", r)
+			}
+		}
+	}
+}
+
+// TestFlightRecorderDoesNotPerturbTraining pins that attaching the flight
+// recorder leaves the trained model bit-identical: recording reads the
+// sampler's state but never draws from any RNG stream.
+func TestFlightRecorderDoesNotPerturbTraining(t *testing.T) {
+	tr := workload.SDSCSP2Like(3000, 7)
+	_, plain := trainStats(t, tr, sched.SJF(), 4)
+	flight := obs.NewFlightRecorder(1<<14, 1<<14)
+	trainer, err := NewTrainer(TrainConfig{
+		Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
+		Batch: 6, SeqLen: 64, Seed: 11, Workers: 4, Flight: flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trainer.Train(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf lenWriter
+	if err := trainer.Inspector().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf.b) != string(plain) {
+		t.Fatal("flight recorder perturbed the trained model")
+	}
+	if flight.Decisions.Total() == 0 {
+		t.Fatal("flight recorder attached but recorded nothing")
+	}
+}
+
+type lenWriter struct{ b []byte }
+
+func (w *lenWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// TestFeatureNamesAlignWithDim pins that every mode's label list matches
+// its feature vector length — the explain header contract.
+func TestFeatureNamesAlignWithDim(t *testing.T) {
+	for _, m := range []FeatureMode{ManualFeatures, CompactedFeatures, NativeFeatures} {
+		if got := len(m.FeatureNames()); got != m.Dim() {
+			t.Errorf("%s: %d names for %d features", m, got, m.Dim())
+		}
+	}
+}

@@ -105,6 +105,23 @@ func (in *Inspector) Sampling(rec *[]rl.Step) sim.Inspector {
 	}
 }
 
+// Explain runs one decision with the policy's internals exported: the
+// chosen action plus copies of the observed feature vector, the raw logits
+// and the softmax probabilities — the flight recorder's per-decision
+// payload. In stochastic mode (greedy=false) it consumes exactly one draw
+// from the agent's RNG stream, identically to Stochastic, so serving paths
+// can switch between the two without perturbing the decision sequence;
+// greedy mode consumes none.
+func (in *Inspector) Explain(s *sim.State, greedy bool) (action int, features, logits, probs []float64) {
+	in.feat = in.Norm.Features(in.feat, in.Mode, s)
+	if greedy {
+		action, logits, probs = in.Agent.GreedyExplain(in.feat)
+	} else {
+		action, _, logits, probs = in.Agent.SampleExplain(in.feat)
+	}
+	return action, append([]float64(nil), in.feat...), logits, probs
+}
+
 // RejectProb returns the policy's probability of rejecting in state s,
 // useful for analysis and debugging.
 func (in *Inspector) RejectProb(s *sim.State) float64 {

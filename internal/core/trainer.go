@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"schedinspector/internal/metrics"
+	"schedinspector/internal/obs"
 	"schedinspector/internal/rl"
 	"schedinspector/internal/rollout"
 	"schedinspector/internal/sched"
@@ -55,6 +56,14 @@ type TrainConfig struct {
 	// Metrics, when non-nil, receives worker-utilization, rollout-latency
 	// and baseline-cache observations (see NewRolloutMetrics).
 	Metrics *RolloutMetrics
+
+	// Flight, when non-nil, attaches the decision flight recorder: each
+	// epoch emits an "epoch" span rooting per-episode and per-decision
+	// spans, and every inspector decision records an explain record
+	// (features, logits, probabilities, verdict, scheduling context). The
+	// set of explain records is identical for any Workers value; only ring
+	// order and wall timestamps depend on execution.
+	Flight *obs.FlightRecorder
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -194,6 +203,9 @@ func NewTrainer(cfg TrainConfig) (*Trainer, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	norm := NewNormalizer(workload.ComputeStats(cfg.Trace), cfg.Metric, cfg.MaxRejections, cfg.MaxInterval)
 	insp := NewInspector(rng, cfg.FeatureMode, norm, cfg.Hidden)
+	if cfg.Flight != nil {
+		cfg.Flight.Explains().SetMeta(cfg.FeatureMode.FeatureNames(), cfg.FeatureMode.String(), cfg.MaxRejections)
+	}
 	return &Trainer{
 		cfg:       cfg,
 		insp:      insp,
@@ -304,7 +316,18 @@ func (t *Trainer) RunEpoch() (EpochStats, error) {
 		}
 	}
 	sampler := newWaveSampler(t.insp.Clone(nil), rngs, B, true)
-	results, rep, runErr := rollout.Run(eps, rollout.Config{Workers: epWorkers, Decide: sampler.decide})
+	rollCfg := rollout.Config{Workers: epWorkers, Decide: sampler.decide}
+	var epochSpan obs.Span
+	if t.cfg.Flight != nil {
+		// The epoch span roots this epoch's episode and decision spans; its
+		// ID is a pure function of (seed, epoch), never of scheduling.
+		epochID := obs.DeriveSpanID(uint64(t.cfg.Seed), streamTrain, uint64(t.epoch))
+		epochSpan = obs.StartSpan("epoch", epochID, 0, 0)
+		rollCfg.Spans = t.cfg.Flight.SpanTracer()
+		rollCfg.SpanRoot = epochID
+		sampler.explainTo(t.cfg.Flight.Explains(), t.epoch, t.cfg.MaxRejections)
+	}
+	results, rep, runErr := rollout.Run(eps, rollCfg)
 	busy += rep.Busy
 	wall += rep.Wall
 	t.cfg.Metrics.observeRollout(workers, busy.Seconds(), wall.Seconds())
@@ -357,6 +380,16 @@ func (t *Trainer) RunEpoch() (EpochStats, error) {
 	stats.PolicyIters = up.PolicyIters
 	stats.Steps = up.Steps
 	stats.Seconds = time.Since(t0).Seconds()
+	if t.cfg.Flight != nil {
+		epochSpan.Attrs = append(epochSpan.Attrs,
+			obs.Attr{Key: "epoch", Num: float64(t.epoch)},
+			obs.Attr{Key: "steps", Num: float64(stats.Steps)},
+			obs.Attr{Key: "reject_ratio", Num: stats.RejectionRatio},
+			obs.Attr{Key: "mean_reward", Num: stats.MeanReward},
+		)
+		epochSpan.End(0)
+		t.cfg.Flight.SpanTracer().Emit(epochSpan)
+	}
 	if t.cfg.Logger != nil {
 		t.cfg.Logger.LogEpoch(stats)
 	}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"schedinspector/internal/nn"
+	"schedinspector/internal/obs"
 	"schedinspector/internal/rl"
 	"schedinspector/internal/rollout"
 )
@@ -31,6 +32,16 @@ type waveSampler struct {
 	feats  []float64 // wave feature matrix, rows x Mode.Dim()
 	probs  []float64 // softmax scratch
 	bcache nn.BatchCache
+
+	// Flight-recorder hookup (explainTo): every decision emits one explain
+	// record keyed (epoch, slot, per-slot sequence). The sampler is
+	// coordinator-only and a slot's decisions arrive in its episode's step
+	// order, so the key — and with it every record field — is independent
+	// of wave composition and worker count.
+	rec    *obs.ExplainRecorder
+	epoch  int
+	maxRej int
+	seqs   map[int]int // per-slot decision counters
 }
 
 // newWaveSampler builds a sampler over slots episode slots using insp as
@@ -48,6 +59,18 @@ func newWaveSampler(insp *Inspector, rngs []*rand.Rand, slots int, record bool) 
 		s.steps = make([][]rl.Step, slots)
 	}
 	return s
+}
+
+// explainTo attaches an explain recorder: every subsequent decision is
+// recorded with the given epoch tag and rejection cap. A nil rec disables
+// recording.
+func (s *waveSampler) explainTo(rec *obs.ExplainRecorder, epoch, maxRejections int) {
+	s.rec = rec
+	s.epoch = epoch
+	s.maxRej = maxRejections
+	if rec != nil && s.seqs == nil {
+		s.seqs = make(map[int]int)
+	}
 }
 
 func (s *waveSampler) decide(pending []rollout.Pending, rejects []bool) {
@@ -85,5 +108,31 @@ func (s *waveSampler) decide(pending []rollout.Pending, rejects []bool) {
 			})
 		}
 		rejects[i] = action == ActionReject
+		if s.rec != nil {
+			if s.greedy {
+				// Sampling left softmax(lg) in s.probs; the greedy branch
+				// skipped it, so fill the scratch now for the record.
+				nn.Softmax(lg, s.probs)
+			}
+			st := pending[i].State
+			slot := pending[i].Slot
+			seq := s.seqs[slot]
+			s.seqs[slot] = seq + 1
+			util := 0.0
+			if st.TotalProcs > 0 {
+				util = 1 - float64(st.FreeProcs)/float64(st.TotalProcs)
+			}
+			s.rec.Record(obs.ExplainRecord{
+				Epoch: s.epoch, Traj: slot, Seq: seq, Time: st.Now,
+				JobID: st.Job.ID, Wait: st.JobWait, Procs: st.Job.Procs, Est: st.Job.Est,
+				Rejections: st.Rejections, MaxRejections: s.maxRej,
+				QueueLen: len(st.Queue) + 1, FreeProcs: st.FreeProcs,
+				TotalProcs: st.TotalProcs, Utilization: util,
+				Features: append([]float64(nil), s.feats[i*dim:(i+1)*dim]...),
+				Logits:   append([]float64(nil), lg...),
+				Probs:    append([]float64(nil), s.probs[:len(lg)]...),
+				Action:   action, Sampled: !s.greedy, Rejected: rejects[i],
+			})
+		}
 	}
 }

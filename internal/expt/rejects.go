@@ -1,0 +1,32 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"schedinspector/internal/explain"
+)
+
+// PlotRejects renders the reject-rate-vs-utilization curve from a recorded
+// decision flight trace (schedinspect train/eval -flight): the behavioral
+// signature of §5 — a trained inspector should reject more when the cluster
+// is busy, since sending a job back only pays off when the near future
+// offers a better slot.
+func PlotRejects(w io.Writer, path string) error {
+	tr, err := explain.ReadTraceFile(path)
+	if err != nil {
+		return err
+	}
+	if len(tr.Records) == 0 {
+		return fmt.Errorf("expt: %s holds no decision records", path)
+	}
+	rejects := 0
+	for _, r := range tr.Records {
+		if r.Rejected {
+			rejects++
+		}
+	}
+	fmt.Fprintf(w, "reject rate vs utilization from %s (%d decisions, %d rejected)\n",
+		path, len(tr.Records), rejects)
+	return explain.WriteRejectByUtilization(w, tr.RejectByUtilization(10))
+}

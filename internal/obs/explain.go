@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Explain records: the per-decision payload of the flight recorder. Where
+// a span says *that* a decision happened and how long it took, the explain
+// record says *why*: the exact feature vector the policy observed, its raw
+// logits and action distribution, the sampled (or greedy) verdict, and the
+// scheduling context (queue depth, utilization, the job's rejection count
+// against MAX_REJECTION_TIMES) — everything the paper's §5 behavior
+// analysis needs to reconstruct any individual decision after the fact.
+//
+// Records deliberately carry no wall-clock time: every field is a pure
+// function of (seed, epoch, trajectory, decision sequence), so the set of
+// records from a run is bit-identical at any worker count — order within
+// the ring is the only thing scheduling may permute, which is why the
+// analysis layer sorts by (Epoch, Traj, Seq) before computing anything.
+
+// ExplainRecord is one fully-instrumented inspector decision. The job
+// identified by JobID is the base policy's pick at this scheduling point —
+// the decision under inspection.
+type ExplainRecord struct {
+	Epoch int     `json:"epoch,omitempty"` // training epoch (0 outside training)
+	Traj  int     `json:"traj"`            // trajectory / episode slot
+	Seq   int     `json:"seq"`             // decision index within the trajectory
+	Time  float64 `json:"t"`               // simulation time of the decision
+
+	// The inspected decision: the base policy's picked job.
+	JobID int     `json:"job"`
+	Wait  float64 `json:"wait"`
+	Procs int     `json:"procs"`
+	Est   float64 `json:"est"`
+
+	// Rejection accounting against the MAX_REJECTION_TIMES cap.
+	Rejections    int `json:"rejections"`
+	MaxRejections int `json:"max_rejections"`
+
+	// Cluster context. Utilization is the allocated fraction
+	// 1 - free/total; QueueLen counts waiting jobs including the pick.
+	QueueLen    int     `json:"queue"`
+	FreeProcs   int     `json:"free"`
+	TotalProcs  int     `json:"total"`
+	Utilization float64 `json:"util"`
+
+	// What the policy saw and produced. Slices are owned by the record.
+	Features []float64 `json:"features"`
+	Logits   []float64 `json:"logits"`
+	Probs    []float64 `json:"probs"`
+	Action   int       `json:"action"`
+	Sampled  bool      `json:"sampled"` // sampled from the distribution vs greedy argmax
+	Rejected bool      `json:"rejected"`
+}
+
+// jsonExplain is the JSONL wire form of one record.
+type jsonExplain struct {
+	Kind string `json:"kind"`
+	ExplainRecord
+}
+
+// ExplainHeader is the meta line written once per JSONL trace, labeling
+// the feature indices of every subsequent decision record.
+type ExplainHeader struct {
+	Kind          string   `json:"kind"` // "explain_header"
+	Mode          string   `json:"mode"` // feature mode name
+	Features      []string `json:"features"`
+	MaxRejections int      `json:"max_rejections"`
+}
+
+// DefaultExplainCap is the ring capacity NewExplainRecorder uses for
+// capacity <= 0.
+const DefaultExplainCap = 4096
+
+// ExplainRecorder holds the last decisions in a bounded ring and,
+// optionally, streams every record to a JSONL sink. A nil *ExplainRecorder
+// records nothing; all methods are nil-safe.
+type ExplainRecorder struct {
+	mu      sync.Mutex
+	ring    []ExplainRecord
+	start   int
+	n       int
+	total   uint64
+	sink    io.Writer
+	sinkErr error
+
+	names         []string
+	mode          string
+	maxRejections int
+	headerOut     bool
+}
+
+// NewExplainRecorder returns a recorder holding at most capacity records
+// (DefaultExplainCap if capacity <= 0).
+func NewExplainRecorder(capacity int) *ExplainRecorder {
+	if capacity <= 0 {
+		capacity = DefaultExplainCap
+	}
+	return &ExplainRecorder{ring: make([]ExplainRecord, 0, capacity)}
+}
+
+// SetMeta declares the feature names, feature-mode name and rejection cap
+// of subsequent records. The first call after a sink is installed writes
+// the explain_header line; later calls only update the in-memory meta
+// (served by FeatureNames).
+func (r *ExplainRecorder) SetMeta(names []string, mode string, maxRejections int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.names = names
+	r.mode = mode
+	r.maxRejections = maxRejections
+	r.writeHeaderLocked()
+	r.mu.Unlock()
+}
+
+// FeatureNames returns the feature labels last declared with SetMeta.
+func (r *ExplainRecorder) FeatureNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.names
+}
+
+// SetSink streams every subsequent record to w as one JSON object per
+// line, preceded by the explain_header line when SetMeta has been called.
+func (r *ExplainRecorder) SetSink(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = w
+	r.sinkErr = nil
+	r.headerOut = false
+	r.writeHeaderLocked()
+	r.mu.Unlock()
+}
+
+// writeHeaderLocked emits the header line once, as soon as both a sink and
+// meta are present. Caller holds r.mu.
+func (r *ExplainRecorder) writeHeaderLocked() {
+	if r.sink == nil || r.sinkErr != nil || r.headerOut || r.names == nil {
+		return
+	}
+	b, err := json.Marshal(ExplainHeader{
+		Kind: "explain_header", Mode: r.mode, Features: r.names, MaxRejections: r.maxRejections,
+	})
+	if err == nil {
+		b = append(b, '\n')
+		_, err = r.sink.Write(b)
+	}
+	if err != nil {
+		r.sinkErr = err
+		r.sink = nil
+		return
+	}
+	r.headerOut = true
+}
+
+// Record stores one decision. The recorder takes ownership of the record's
+// slices. Safe on a nil recorder.
+func (r *ExplainRecorder) Record(rec ExplainRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.total++
+	if r.n < cap(r.ring) {
+		r.ring = append(r.ring, rec)
+		r.n++
+	} else {
+		r.ring[r.start] = rec
+		r.start++
+		if r.start == cap(r.ring) {
+			r.start = 0
+		}
+	}
+	if r.sink != nil && r.sinkErr == nil {
+		b, err := json.Marshal(jsonExplain{Kind: "decision", ExplainRecord: rec})
+		if err == nil {
+			b = append(b, '\n')
+			_, err = r.sink.Write(b)
+		}
+		if err != nil {
+			r.sinkErr = err
+			r.sink = nil
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Records returns the buffered records, oldest first.
+func (r *ExplainRecorder) Records() []ExplainRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ExplainRecord, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.ring[(r.start+i)%cap(r.ring)])
+	}
+	return out
+}
+
+// Last returns the most recent min(n, held) records, oldest first.
+func (r *ExplainRecorder) Last(n int) []ExplainRecord {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n > r.n {
+		n = r.n
+	}
+	out := make([]ExplainRecord, 0, n)
+	for i := r.n - n; i < r.n; i++ {
+		out = append(out, r.ring[(r.start+i)%cap(r.ring)])
+	}
+	return out
+}
+
+// Total returns how many records were recorded over the recorder's
+// lifetime, including those the ring has since overwritten.
+func (r *ExplainRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// SinkErr returns the first JSONL sink write error, if any.
+func (r *ExplainRecorder) SinkErr() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
+}
+
+// FlightRecorder bundles the two halves of the decision flight recorder —
+// the span tracer and the explain recorder — behind one attach point
+// (TrainConfig.Flight, EvalConfig.Flight). A nil *FlightRecorder disables
+// both; its accessors are nil-safe so call sites thread r.SpanTracer() and
+// r.Explains() without guards.
+type FlightRecorder struct {
+	Spans     *SpanTracer
+	Decisions *ExplainRecorder
+}
+
+// NewFlightRecorder builds a recorder with the given ring capacities
+// (<= 0 selects the package defaults).
+func NewFlightRecorder(spanCap, decisionCap int) *FlightRecorder {
+	return &FlightRecorder{Spans: NewSpanTracer(spanCap), Decisions: NewExplainRecorder(decisionCap)}
+}
+
+// SetSink streams both spans and explain records to w as interleaved JSON
+// lines (distinguished by their "kind" field), serialized through one lock
+// so lines never interleave mid-record.
+func (f *FlightRecorder) SetSink(w io.Writer) {
+	if f == nil {
+		return
+	}
+	lw := &lockedWriter{w: w}
+	f.Spans.SetSink(lw)
+	f.Decisions.SetSink(lw)
+}
+
+// SpanTracer returns the span half, nil when f is nil.
+func (f *FlightRecorder) SpanTracer() *SpanTracer {
+	if f == nil {
+		return nil
+	}
+	return f.Spans
+}
+
+// Explains returns the explain-record half, nil when f is nil.
+func (f *FlightRecorder) Explains() *ExplainRecorder {
+	if f == nil {
+		return nil
+	}
+	return f.Decisions
+}
+
+// SinkErr returns the first sink error from either half.
+func (f *FlightRecorder) SinkErr() error {
+	if f == nil {
+		return nil
+	}
+	if err := f.Spans.SinkErr(); err != nil {
+		return err
+	}
+	return f.Decisions.SinkErr()
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime self-profiling: a lightweight sampler that periodically snapshots
+// the Go runtime (goroutine count, heap, GC activity) into a bounded ring
+// and mirrors the latest sample into registry gauges. It answers "was the
+// daemon leaking goroutines / growing its heap before the incident" from
+// /metrics alone, without attaching pprof — pprof stays available for deep
+// dives, this is the always-on flight-recorder view.
+
+// ProcStats is one runtime snapshot.
+type ProcStats struct {
+	Wall       int64  `json:"wall"` // Unix nanoseconds
+	Goroutines int    `json:"goroutines"`
+	HeapAlloc  uint64 `json:"heap_alloc"` // bytes of live heap objects
+	HeapSys    uint64 `json:"heap_sys"`   // bytes obtained from the OS for the heap
+	NumGC      uint32 `json:"num_gc"`
+	PauseTotal uint64 `json:"gc_pause_total_ns"`
+}
+
+// DefaultProcCap is the ring capacity NewProcSampler uses for capacity <= 0.
+const DefaultProcCap = 256
+
+// ProcSampler snapshots runtime stats on demand or on a timer. The zero
+// value is not usable; construct with NewProcSampler.
+type ProcSampler struct {
+	mu    sync.Mutex
+	ring  []ProcStats
+	start int
+	n     int
+
+	goroutines *Gauge
+	heapAlloc  *Gauge
+	heapSys    *Gauge
+	numGC      *Gauge
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewProcSampler returns a sampler holding at most capacity snapshots
+// (DefaultProcCap if capacity <= 0). If reg is non-nil the latest sample is
+// mirrored into gauges (schedinspector_goroutines, schedinspector_heap_*).
+func NewProcSampler(capacity int, reg *Registry) *ProcSampler {
+	if capacity <= 0 {
+		capacity = DefaultProcCap
+	}
+	p := &ProcSampler{ring: make([]ProcStats, 0, capacity)}
+	if reg != nil {
+		p.goroutines = reg.Gauge("schedinspector_goroutines", "Current goroutine count.", nil)
+		p.heapAlloc = reg.Gauge("schedinspector_heap_alloc_bytes", "Bytes of live heap objects.", nil)
+		p.heapSys = reg.Gauge("schedinspector_heap_sys_bytes", "Heap bytes obtained from the OS.", nil)
+		p.numGC = reg.Gauge("schedinspector_gc_cycles_total", "Completed GC cycles (gauge mirror of runtime.NumGC).", nil)
+	}
+	return p
+}
+
+// Sample takes one snapshot now, stores it in the ring, updates the gauges,
+// and returns it.
+func (p *ProcSampler) Sample() ProcStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := ProcStats{
+		Wall:       wallNow(),
+		Goroutines: runtime.NumGoroutine(),
+		HeapAlloc:  ms.HeapAlloc,
+		HeapSys:    ms.HeapSys,
+		NumGC:      ms.NumGC,
+		PauseTotal: ms.PauseTotalNs,
+	}
+	p.mu.Lock()
+	if p.n < cap(p.ring) {
+		p.ring = append(p.ring, s)
+		p.n++
+	} else {
+		p.ring[p.start] = s
+		p.start++
+		if p.start == cap(p.ring) {
+			p.start = 0
+		}
+	}
+	p.mu.Unlock()
+	if p.goroutines != nil {
+		p.goroutines.Set(float64(s.Goroutines))
+		p.heapAlloc.Set(float64(s.HeapAlloc))
+		p.heapSys.Set(float64(s.HeapSys))
+		p.numGC.Set(float64(s.NumGC))
+	}
+	return s
+}
+
+// Snapshots returns the buffered samples, oldest first.
+func (p *ProcSampler) Snapshots() []ProcStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ProcStats, 0, p.n)
+	for i := 0; i < p.n; i++ {
+		out = append(out, p.ring[(p.start+i)%cap(p.ring)])
+	}
+	return out
+}
+
+// Start samples immediately and then every interval until the returned stop
+// function is called (idempotent). Starting an already-started sampler
+// panics.
+func (p *ProcSampler) Start(interval time.Duration) (stop func()) {
+	p.mu.Lock()
+	if p.stop != nil {
+		p.mu.Unlock()
+		panic("obs: ProcSampler already started")
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	stopc, donec := p.stop, p.done
+	p.mu.Unlock()
+
+	p.Sample()
+	go func() {
+		defer close(donec)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				p.Sample()
+			case <-stopc:
+				return
+			}
+		}
+	}()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(stopc)
+			<-donec
+			p.mu.Lock()
+			p.stop, p.done = nil, nil
+			p.mu.Unlock()
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -225,5 +226,43 @@ func TestConcurrentObservation(t *testing.T) {
 	}
 	if h.Count() != 16000 {
 		t.Errorf("histogram count %d", h.Count())
+	}
+}
+
+// TestConcurrentRegistration races series creation (what ProcSampler and
+// build_info do at runtime) against renders and observations: registering
+// while /metrics is being scraped must be safe and lose no series.
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				g := r.Gauge(fmt.Sprintf("g_%d_%d", w, i), "", nil)
+				g.Set(float64(i))
+				r.Counter(fmt.Sprintf("c_%d_total", w), "", Labels{"i": fmt.Sprint(i)}).Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var b strings.Builder
+		for i := 0; i < 50; i++ {
+			b.Reset()
+			r.WriteProm(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+	var b strings.Builder
+	r.WriteProm(&b)
+	out := b.String()
+	for w := 0; w < 8; w++ {
+		if !strings.Contains(out, fmt.Sprintf("g_%d_99 99\n", w)) {
+			t.Errorf("worker %d's last gauge missing from render", w)
+		}
 	}
 }

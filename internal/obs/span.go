@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Span-based structured tracing: the decision flight recorder's skeleton.
+// Where the event Tracer records flat simulator events, spans carry
+// identity (an ID and a parent ID), duration in both wall-clock and
+// simulation time, and free-form key/value attributes — enough to
+// reconstruct "why did the model reject job X at 03:12" after the fact by
+// walking run → epoch → episode → decision.
+//
+// Span IDs are caller-supplied and expected to come from DeriveSpanID, a
+// SplitMix64 hash chain over stable tags (seed, epoch, episode slot,
+// decision sequence). Identity therefore never depends on execution order:
+// a workers=1 and a workers=8 rollout over the same seed emit the same
+// span IDs, and only the (explicitly non-deterministic) wall timestamps
+// and ring insertion order differ.
+
+// SpanID identifies one span. Zero means "no span" (the root has parent 0).
+type SpanID uint64
+
+// DeriveSpanID hashes a chain of stable tags into a span ID using the
+// SplitMix64 finalizer — the same derivation discipline as the rollout
+// engine's RNG streams, so IDs are reproducible for any worker count.
+func DeriveSpanID(tags ...uint64) SpanID {
+	x := uint64(0x5370616e) // "Span"
+	for _, t := range tags {
+		x = mix64(x ^ t)
+	}
+	if x == 0 {
+		x = 1 // 0 is reserved for "no span"
+	}
+	return SpanID(x)
+}
+
+// mix64 is the SplitMix64 finalizer (Steele, Lea, Flood 2014).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Attr is one key/value span attribute. Num carries numeric values, Str
+// string ones; exactly one is meaningful per attribute.
+type Attr struct {
+	Key string  `json:"k"`
+	Num float64 `json:"v,omitempty"`
+	Str string  `json:"s,omitempty"`
+}
+
+// Span is one completed trace span. Wall times are Unix nanoseconds; sim
+// times are simulation seconds (zero for spans outside a simulation, e.g.
+// a training epoch).
+type Span struct {
+	ID        SpanID  `json:"id"`
+	Parent    SpanID  `json:"parent,omitempty"`
+	Name      string  `json:"name"`
+	WallStart int64   `json:"wall0"`
+	WallEnd   int64   `json:"wall1"`
+	SimStart  float64 `json:"t0"`
+	SimEnd    float64 `json:"t1"`
+	Attrs     []Attr  `json:"attrs,omitempty"`
+}
+
+// wallNow is the wall clock, a package variable so tests can pin it.
+var wallNow = func() int64 { return time.Now().UnixNano() }
+
+// StartSpan opens a span: it stamps the wall-clock start and returns the
+// value for the caller to finish with End and hand to SpanTracer.Emit.
+// Spans are plain values — the tracer only sees completed ones — so
+// starting a span costs nothing when tracing is disabled (callers gate on
+// the tracer being non-nil before building one).
+func StartSpan(name string, id, parent SpanID, simStart float64) Span {
+	return Span{ID: id, Parent: parent, Name: name, WallStart: wallNow(), SimStart: simStart}
+}
+
+// End stamps the wall-clock end and the simulation end time.
+func (s *Span) End(simEnd float64) {
+	s.WallEnd = wallNow()
+	s.SimEnd = simEnd
+}
+
+// jsonSpan is the JSONL wire form: a Span plus the line discriminator the
+// flight-trace reader keys on.
+type jsonSpan struct {
+	Kind string `json:"kind"`
+	Span
+}
+
+// DefaultSpanCap is the ring capacity NewSpanTracer uses for capacity <= 0.
+const DefaultSpanCap = 4096
+
+// SpanTracer records completed spans into a bounded ring and, optionally,
+// streams them to a JSONL sink (one {"kind":"span",...} object per line).
+// A nil *SpanTracer is valid and records nothing: every method is a no-op,
+// and emit sites additionally guard with a nil check so disabled tracing
+// costs one branch — the sim package's allocation tests pin that the nil
+// tracer adds zero allocations to the Env.Step hot path.
+type SpanTracer struct {
+	mu      sync.Mutex
+	ring    []Span
+	start   int
+	n       int
+	total   uint64
+	sink    io.Writer
+	sinkErr error
+}
+
+// NewSpanTracer returns a tracer holding at most capacity completed spans
+// (DefaultSpanCap if capacity <= 0). Older spans are overwritten.
+func NewSpanTracer(capacity int) *SpanTracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCap
+	}
+	return &SpanTracer{ring: make([]Span, 0, capacity)}
+}
+
+// SetSink streams every subsequent span to w as one JSON object per line.
+// The first write error sticks (see SinkErr) and disables the sink.
+func (t *SpanTracer) SetSink(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = w
+	t.sinkErr = nil
+	t.mu.Unlock()
+}
+
+// Emit records one completed span. The tracer takes ownership of the Attrs
+// slice. Safe on a nil tracer.
+func (t *SpanTracer) Emit(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.total++
+	if t.n < cap(t.ring) {
+		t.ring = append(t.ring, s)
+		t.n++
+	} else {
+		t.ring[t.start] = s
+		t.start++
+		if t.start == cap(t.ring) {
+			t.start = 0
+		}
+	}
+	if t.sink != nil && t.sinkErr == nil {
+		b, err := json.Marshal(jsonSpan{Kind: "span", Span: s})
+		if err == nil {
+			b = append(b, '\n')
+			_, err = t.sink.Write(b)
+		}
+		if err != nil {
+			t.sinkErr = err
+			t.sink = nil
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns the buffered spans, oldest first. Safe on a nil tracer.
+func (t *SpanTracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(t.start+i)%cap(t.ring)])
+	}
+	return out
+}
+
+// Total returns how many spans were emitted over the tracer's lifetime,
+// including those the ring has since overwritten.
+func (t *SpanTracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many spans the ring overwrote.
+func (t *SpanTracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - uint64(t.n)
+}
+
+// SinkErr returns the first JSONL sink write error, if any.
+func (t *SpanTracer) SinkErr() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sinkErr
+}
+
+// lockedWriter serializes writes from multiple tracers sharing one sink
+// file, so span and explain-record lines never interleave mid-line.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

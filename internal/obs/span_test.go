@@ -1,0 +1,319 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDeriveSpanIDDeterministic(t *testing.T) {
+	a := DeriveSpanID(7, 3, 1)
+	b := DeriveSpanID(7, 3, 1)
+	if a != b {
+		t.Fatalf("same tags, different IDs: %d vs %d", a, b)
+	}
+	if a == 0 {
+		t.Fatalf("derived ID is the reserved zero")
+	}
+	if DeriveSpanID(7, 3, 2) == a || DeriveSpanID(3, 7, 1) == a {
+		t.Fatalf("distinct tag chains collided with %d", a)
+	}
+	if DeriveSpanID() == 0 {
+		t.Fatalf("empty chain yielded zero")
+	}
+}
+
+func TestSpanTracerRing(t *testing.T) {
+	tr := NewSpanTracer(3)
+	for i := 1; i <= 5; i++ {
+		tr.Emit(Span{ID: SpanID(i), Name: "s"})
+	}
+	got := tr.Spans()
+	if len(got) != 3 {
+		t.Fatalf("ring held %d spans, want 3", len(got))
+	}
+	for i, want := range []SpanID{3, 4, 5} {
+		if got[i].ID != want {
+			t.Fatalf("span[%d].ID = %d, want %d (oldest-first after wraparound)", i, got[i].ID, want)
+		}
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", tr.Total())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestNilSpanTracerSafe(t *testing.T) {
+	var tr *SpanTracer
+	tr.Emit(Span{ID: 1})
+	tr.SetSink(&bytes.Buffer{})
+	if tr.Spans() != nil || tr.Total() != 0 || tr.Dropped() != 0 || tr.SinkErr() != nil {
+		t.Fatalf("nil tracer leaked state")
+	}
+}
+
+func TestSpanStartEnd(t *testing.T) {
+	orig := wallNow
+	now := int64(1000)
+	wallNow = func() int64 { now += 5; return now }
+	defer func() { wallNow = orig }()
+
+	s := StartSpan("decision", 42, 7, 12.5)
+	s.Attrs = append(s.Attrs, Attr{Key: "job", Num: 3})
+	s.End(13.0)
+	if s.ID != 42 || s.Parent != 7 || s.Name != "decision" {
+		t.Fatalf("span identity mangled: %+v", s)
+	}
+	if s.WallEnd <= s.WallStart {
+		t.Fatalf("wall clock did not advance: %d..%d", s.WallStart, s.WallEnd)
+	}
+	if s.SimStart != 12.5 || s.SimEnd != 13.0 {
+		t.Fatalf("sim times wrong: %v..%v", s.SimStart, s.SimEnd)
+	}
+}
+
+func TestSpanJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewSpanTracer(8)
+	tr.SetSink(&buf)
+	s := StartSpan("episode", 9, 2, 0)
+	s.Attrs = []Attr{{Key: "slot", Num: 4}, {Key: "mode", Str: "wave"}}
+	s.End(99)
+	tr.Emit(s)
+
+	var line struct {
+		Kind string `json:"kind"`
+		Span
+	}
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("sink line not JSON: %v\n%s", err, buf.String())
+	}
+	if line.Kind != "span" || line.ID != 9 || line.Parent != 2 || line.SimEnd != 99 {
+		t.Fatalf("round-trip mismatch: %+v", line)
+	}
+	if len(line.Attrs) != 2 || line.Attrs[0].Key != "slot" || line.Attrs[1].Str != "wave" {
+		t.Fatalf("attrs mangled: %+v", line.Attrs)
+	}
+	if tr.SinkErr() != nil {
+		t.Fatalf("unexpected sink error: %v", tr.SinkErr())
+	}
+}
+
+func TestSpanSinkErrorSticks(t *testing.T) {
+	tr := NewSpanTracer(4)
+	tr.SetSink(&failWriter{})
+	tr.Emit(Span{ID: 1})
+	if tr.SinkErr() == nil {
+		t.Fatalf("write error not recorded")
+	}
+	tr.Emit(Span{ID: 2}) // must not panic; ring keeps working
+	if len(tr.Spans()) != 2 {
+		t.Fatalf("ring stopped after sink error")
+	}
+}
+
+// TestSpanTracerConcurrent hammers Emit and Spans from many goroutines; run
+// under -race this pins that ring wraparound and reads during writes are
+// safe.
+func TestSpanTracerConcurrent(t *testing.T) {
+	tr := NewSpanTracer(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Emit(Span{ID: DeriveSpanID(uint64(g), uint64(i)), Name: "x"})
+				if i%17 == 0 {
+					_ = tr.Spans()
+					_ = tr.Dropped()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Total() != 1600 {
+		t.Fatalf("Total = %d, want 1600", tr.Total())
+	}
+	if got := len(tr.Spans()); got != 16 {
+		t.Fatalf("ring holds %d, want 16", got)
+	}
+}
+
+func TestExplainRecorderRingAndLast(t *testing.T) {
+	r := NewExplainRecorder(3)
+	for i := 1; i <= 5; i++ {
+		r.Record(ExplainRecord{Seq: i})
+	}
+	recs := r.Records()
+	if len(recs) != 3 || recs[0].Seq != 3 || recs[2].Seq != 5 {
+		t.Fatalf("ring contents wrong: %+v", recs)
+	}
+	last := r.Last(2)
+	if len(last) != 2 || last[0].Seq != 4 || last[1].Seq != 5 {
+		t.Fatalf("Last(2) wrong: %+v", last)
+	}
+	if got := r.Last(10); len(got) != 3 {
+		t.Fatalf("Last(10) returned %d records, want all 3", len(got))
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+}
+
+func TestNilExplainRecorderSafe(t *testing.T) {
+	var r *ExplainRecorder
+	r.Record(ExplainRecord{})
+	r.SetSink(&bytes.Buffer{})
+	r.SetMeta([]string{"a"}, "manual", 72)
+	if r.Records() != nil || r.Last(1) != nil || r.Total() != 0 || r.SinkErr() != nil || r.FeatureNames() != nil {
+		t.Fatalf("nil recorder leaked state")
+	}
+}
+
+func TestExplainHeaderAndDecisionLines(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewExplainRecorder(8)
+	// Meta before sink: header must still come out once the sink lands.
+	r.SetMeta([]string{"wait", "procs"}, "manual", 72)
+	r.SetSink(&buf)
+	r.SetMeta([]string{"wait", "procs"}, "manual", 72) // idempotent: no second header
+	r.Record(ExplainRecord{Traj: 1, Seq: 0, JobID: 42, Rejected: true,
+		Features: []float64{0.5, 0.25}, Logits: []float64{0.1, -0.1}, Probs: []float64{0.55, 0.45}})
+
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatalf("no header line")
+	}
+	var hdr ExplainHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		t.Fatalf("header not JSON: %v", err)
+	}
+	if hdr.Kind != "explain_header" || hdr.Mode != "manual" || hdr.MaxRejections != 72 || len(hdr.Features) != 2 {
+		t.Fatalf("header mangled: %+v", hdr)
+	}
+	if !sc.Scan() {
+		t.Fatalf("no decision line")
+	}
+	var dec struct {
+		Kind string `json:"kind"`
+		ExplainRecord
+	}
+	if err := json.Unmarshal(sc.Bytes(), &dec); err != nil {
+		t.Fatalf("decision not JSON: %v", err)
+	}
+	if dec.Kind != "decision" || dec.JobID != 42 || !dec.Rejected || len(dec.Probs) != 2 {
+		t.Fatalf("decision mangled: %+v", dec)
+	}
+	if sc.Scan() {
+		t.Fatalf("unexpected extra line (duplicate header?): %s", sc.Text())
+	}
+}
+
+func TestExplainRecorderConcurrent(t *testing.T) {
+	r := NewExplainRecorder(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(ExplainRecord{Traj: g, Seq: i})
+				if i%13 == 0 {
+					_ = r.Records()
+					_ = r.Last(4)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", r.Total())
+	}
+}
+
+func TestFlightRecorderSharedSink(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewFlightRecorder(8, 8)
+	f.Decisions.SetMeta([]string{"wait"}, "manual", 72)
+	f.SetSink(&buf)
+	f.Spans.Emit(Span{ID: 1, Name: "episode"})
+	f.Decisions.Record(ExplainRecord{Seq: 7})
+
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var k struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &k); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		kinds[k.Kind]++
+	}
+	if kinds["explain_header"] != 1 || kinds["span"] != 1 || kinds["decision"] != 1 {
+		t.Fatalf("line kinds wrong: %v", kinds)
+	}
+	if f.SinkErr() != nil {
+		t.Fatalf("unexpected sink error: %v", f.SinkErr())
+	}
+}
+
+func TestNilFlightRecorderSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.SetSink(&bytes.Buffer{})
+	if f.SpanTracer() != nil || f.Explains() != nil || f.SinkErr() != nil {
+		t.Fatalf("nil flight recorder leaked state")
+	}
+	// The nil-safe accessors must chain into nil-safe halves.
+	f.SpanTracer().Emit(Span{})
+	f.Explains().Record(ExplainRecord{})
+}
+
+func TestProcSampler(t *testing.T) {
+	reg := NewRegistry()
+	p := NewProcSampler(4, reg)
+	s := p.Sample()
+	if s.Goroutines <= 0 || s.HeapAlloc == 0 {
+		t.Fatalf("implausible snapshot: %+v", s)
+	}
+	for i := 0; i < 6; i++ {
+		p.Sample()
+	}
+	if got := len(p.Snapshots()); got != 4 {
+		t.Fatalf("ring holds %d, want 4", got)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := buf.String()
+	for _, name := range []string{"schedinspector_goroutines", "schedinspector_heap_alloc_bytes", "schedinspector_heap_sys_bytes", "schedinspector_gc_cycles_total"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("gauge %s missing from exposition:\n%s", name, out)
+		}
+	}
+}
+
+func TestProcSamplerStartStop(t *testing.T) {
+	p := NewProcSampler(8, nil)
+	stop := p.Start(time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for len(p.Snapshots()) < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if len(p.Snapshots()) < 2 {
+		t.Fatalf("ticker never sampled")
+	}
+	// Restart after stop must be allowed.
+	stop2 := p.Start(time.Hour)
+	stop2()
+}

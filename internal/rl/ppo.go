@@ -124,6 +124,35 @@ func SampleCategorical(rng *rand.Rand, logits, probs []float64) (action int, log
 	return action, math.Log(math.Max(p[action], 1e-12))
 }
 
+// SampleExplain is Sample with the policy's internals exported: it draws an
+// action exactly as Sample does — same forward pass, same single rng.Float64
+// — and additionally returns copies of the raw logits and the softmax
+// probabilities, the flight recorder's explain payload. Interleaving
+// SampleExplain and Sample calls on one agent leaves the RNG stream
+// identical to calling Sample throughout.
+func (a *Agent) SampleExplain(obs []float64) (action int, logp float64, logits, probs []float64) {
+	lg := a.Policy.Forward(obs, &a.polCache)
+	action, logp = SampleCategorical(a.rng, lg, a.probs)
+	return action, logp,
+		append([]float64(nil), lg...),
+		append([]float64(nil), a.probs...)
+}
+
+// GreedyExplain is Greedy with the policy's internals exported: the argmax
+// action plus copies of the logits and softmax probabilities. It never
+// touches the sampling RNG.
+func (a *Agent) GreedyExplain(obs []float64) (action int, logits, probs []float64) {
+	lg := a.Policy.Forward(obs, &a.polCache)
+	p := nn.Softmax(lg, a.probs)
+	action = 0
+	for i := 1; i < len(lg); i++ {
+		if lg[i] > lg[action] {
+			action = i
+		}
+	}
+	return action, append([]float64(nil), lg...), append([]float64(nil), p...)
+}
+
 // Greedy returns the argmax action of the current policy (inference mode).
 func (a *Agent) Greedy(obs []float64) int {
 	logits := a.Policy.Forward(obs, &a.polCache)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"schedinspector/internal/metrics"
+	"schedinspector/internal/obs"
 	"schedinspector/internal/sim"
 	"schedinspector/internal/workload"
 )
@@ -68,6 +69,16 @@ type Config struct {
 	// Decide supplies decisions for interactive episodes. Required if any
 	// episode is interactive.
 	Decide Decide
+
+	// Spans attaches the flight recorder: each episode slot gets an
+	// "episode" span (child of SpanRoot, ID derived from (SpanRoot, slot))
+	// and its environment emits per-decision child spans. The driver owns
+	// span attachment — it overrides any Spans/SpanParent set on episode
+	// configs — so IDs stay a pure function of (SpanRoot, slot, decision
+	// seq) and are identical at any worker count. Wall timestamps and ring
+	// order remain execution-dependent; only identity is deterministic.
+	Spans    *obs.SpanTracer
+	SpanRoot obs.SpanID
 }
 
 // Report carries the run's timing observations for telemetry: summed
@@ -94,6 +105,15 @@ func Run(eps []Episode, cfg Config) ([]sim.Result, Report, error) {
 		}
 		if eps[i].Interactive && cfg.Decide == nil {
 			return nil, rep, fmt.Errorf("rollout: episode %d is interactive but Config.Decide is nil", i)
+		}
+	}
+	if cfg.Spans != nil {
+		// Copy the episode slice before attaching span plumbing so the
+		// caller's Episodes are never mutated.
+		eps = append([]Episode(nil), eps...)
+		for i := range eps {
+			eps[i].Cfg.Spans = cfg.Spans
+			eps[i].Cfg.SpanParent = obs.DeriveSpanID(uint64(cfg.SpanRoot), uint64(i))
 		}
 	}
 	workers := ResolveWorkers(cfg.Workers)
@@ -123,6 +143,20 @@ func ownResult(r sim.Result) sim.Result {
 	return r
 }
 
+// endEpisodeSpan closes and emits the span bracketing one finished episode.
+// Wall duration covers the episode's execution; sim duration its simulated
+// makespan.
+func endEpisodeSpan(tr *obs.SpanTracer, esp obs.Span, slot, jobs int, simEnd float64, res *sim.Result) {
+	esp.Attrs = append(esp.Attrs,
+		obs.Attr{Key: "slot", Num: float64(slot)},
+		obs.Attr{Key: "jobs", Num: float64(jobs)},
+		obs.Attr{Key: "inspections", Num: float64(res.Inspections)},
+		obs.Attr{Key: "rejections", Num: float64(res.Rejections)},
+	)
+	esp.End(simEnd)
+	tr.Emit(esp)
+}
+
 // runSequential executes episodes one at a time in slot order on a single
 // reused environment, yielding single-slot waves.
 func runSequential(eps []Episode, cfg Config, results []sim.Result, errs []error, rep *Report) {
@@ -132,6 +166,10 @@ func runSequential(eps []Episode, cfg Config, results []sim.Result, errs []error
 	rejects := make([]bool, 1)
 	for i := range eps {
 		t0 := time.Now()
+		var esp obs.Span
+		if cfg.Spans != nil {
+			esp = obs.StartSpan("episode", eps[i].Cfg.SpanParent, cfg.SpanRoot, 0)
+		}
 		if !eps[i].Interactive {
 			r, err := sim.RunEnv(env, eps[i].Jobs, eps[i].Cfg)
 			if err == nil {
@@ -147,6 +185,9 @@ func runSequential(eps []Episode, cfg Config, results []sim.Result, errs []error
 				obsState, done = env.Step(rejects[0])
 			}
 			results[i] = ownResult(env.Result())
+		}
+		if cfg.Spans != nil && errs[i] == nil {
+			endEpisodeSpan(cfg.Spans, esp, i, len(eps[i].Jobs), env.Now(), &results[i])
 		}
 		rep.EpisodeSeconds[i] = time.Since(t0).Seconds()
 	}
@@ -164,9 +205,16 @@ func runWaves(eps []Episode, cfg Config, workers int, results []sim.Result, errs
 	states := make([]*sim.State, n)
 	done := make([]bool, n)
 	seqEnvs := make([]*sim.Env, workers) // per-worker envs for non-interactive runs
+	var espans []obs.Span                // open episode spans, indexed by slot
+	if cfg.Spans != nil {
+		espans = make([]obs.Span, n)
+	}
 
 	busy, wall := RunIndexed(workers, n, func(w, i int) {
 		t0 := time.Now()
+		if espans != nil {
+			espans[i] = obs.StartSpan("episode", eps[i].Cfg.SpanParent, cfg.SpanRoot, 0)
+		}
 		if eps[i].Interactive {
 			envs[i] = sim.NewEnv()
 			states[i], done[i], errs[i] = envs[i].Reset(eps[i].Jobs, eps[i].Cfg)
@@ -179,6 +227,9 @@ func runWaves(eps []Episode, cfg Config, workers int, results []sim.Result, errs
 				r = ownResult(r)
 			}
 			results[i], errs[i] = r, err
+			if espans != nil && err == nil {
+				endEpisodeSpan(cfg.Spans, espans[i], i, len(eps[i].Jobs), seqEnvs[w].Now(), &results[i])
+			}
 		}
 		rep.EpisodeSeconds[i] += time.Since(t0).Seconds()
 	})
@@ -192,6 +243,9 @@ func runWaves(eps []Episode, cfg Config, workers int, results []sim.Result, errs
 		}
 		if done[i] {
 			results[i] = envs[i].Result()
+			if espans != nil {
+				endEpisodeSpan(cfg.Spans, espans[i], i, len(eps[i].Jobs), envs[i].Now(), &results[i])
+			}
 			continue
 		}
 		live = append(live, i)
@@ -220,6 +274,9 @@ func runWaves(eps []Episode, cfg Config, workers int, results []sim.Result, errs
 		for _, i := range live {
 			if done[i] {
 				results[i] = envs[i].Result()
+				if espans != nil {
+					endEpisodeSpan(cfg.Spans, espans[i], i, len(eps[i].Jobs), envs[i].Now(), &results[i])
+				}
 			} else {
 				keep = append(keep, i)
 			}

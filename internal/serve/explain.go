@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+
+	"schedinspector/internal/obs"
+)
+
+// Per-decision explainability for the serving path: every /v1/inspect
+// verdict is recorded — feature vector, logits, probabilities, verdict,
+// scheduling context — into a bounded in-memory ring, and the last N
+// records are served back over GET /v1/explain/last. This is the
+// flight-recorder answer to "why did the model reject job X at 03:12"
+// without restarting the daemon or attaching a debugger: the audit log
+// (when enabled) has the full history on disk, the explain ring has the
+// recent past queryable over HTTP.
+
+// DefaultServeExplainCap bounds the serving explain ring.
+const DefaultServeExplainCap = 512
+
+// defaultExplainLast is how many records /v1/explain/last returns when the
+// n query parameter is absent.
+const defaultExplainLast = 32
+
+// ExplainLastResponse is the GET /v1/explain/last payload.
+type ExplainLastResponse struct {
+	// Total counts decisions served over the process lifetime, including
+	// those the ring has since dropped.
+	Total uint64 `json:"total"`
+	// FeatureNames labels the indices of every record's features array,
+	// per the served model's feature mode.
+	FeatureNames []string `json:"feature_names"`
+	// Records are the most recent decisions, oldest first.
+	Records []obs.ExplainRecord `json:"records"`
+}
+
+// explainLast is the GET /v1/explain/last route. The optional n query
+// parameter (default 32) bounds how many records return; the ring capacity
+// caps it.
+func (h *Handler) explainLast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	n := defaultExplainLast
+	if s := r.URL.Query().Get("n"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 1 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	recs := h.explains.Last(n)
+	if recs == nil {
+		recs = []obs.ExplainRecord{} // serve [] rather than null
+	}
+	writeJSON(w, ExplainLastResponse{
+		Total:        h.explains.Total(),
+		FeatureNames: h.explains.FeatureNames(),
+		Records:      recs,
+	})
+}

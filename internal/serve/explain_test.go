@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"schedinspector/internal/core"
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/workload"
+)
+
+func getExplain(t *testing.T, h http.Handler, query string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/explain/last"+query, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestExplainLastEmpty(t *testing.T) {
+	h := testHandler(t)
+	rec := getExplain(t, h, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp ExplainLastResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != 0 || len(resp.Records) != 0 {
+		t.Errorf("fresh handler: total %d, %d records", resp.Total, len(resp.Records))
+	}
+	if resp.Records == nil {
+		t.Error("records should serialize as [], not null")
+	}
+	if len(resp.FeatureNames) != core.ManualFeatures.Dim() {
+		t.Errorf("feature names %v, want %d manual names", resp.FeatureNames, core.ManualFeatures.Dim())
+	}
+}
+
+func TestExplainLastAfterInspects(t *testing.T) {
+	h := testHandler(t)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if rec := postInspect(t, h, validRequest()); rec.Code != http.StatusOK {
+			t.Fatalf("inspect %d: status %d", i, rec.Code)
+		}
+	}
+	rec := getExplain(t, h, "?n=3")
+	var resp ExplainLastResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Total != n {
+		t.Errorf("total %d, want %d", resp.Total, n)
+	}
+	if len(resp.Records) != 3 {
+		t.Fatalf("got %d records, want 3", len(resp.Records))
+	}
+	// Records come back oldest-first; the seq counter pins the order.
+	for i, r := range resp.Records {
+		if want := n - 3 + i; r.Seq != want {
+			t.Errorf("record %d: seq %d, want %d", i, r.Seq, want)
+		}
+		if len(r.Features) != core.ManualFeatures.Dim() {
+			t.Errorf("record %d: %d features", i, len(r.Features))
+		}
+		if len(r.Probs) != 2 || len(r.Logits) != 2 {
+			t.Errorf("record %d: logits/probs lengths %d/%d", i, len(r.Logits), len(r.Probs))
+		}
+		if !r.Sampled {
+			t.Errorf("record %d: served decisions are sampled", i)
+		}
+		if r.Rejected != (r.Action == core.ActionReject) {
+			t.Errorf("record %d: rejected flag disagrees with action", i)
+		}
+		if r.JobID != 0 || r.Wait != 120 || r.Procs != 16 {
+			t.Errorf("record %d: job fields %d/%v/%d", i, r.JobID, r.Wait, r.Procs)
+		}
+		if r.QueueLen != 2 { // the job under inspection plus one queued peer
+			t.Errorf("record %d: queue len %d", i, r.QueueLen)
+		}
+	}
+}
+
+func TestExplainLastValidation(t *testing.T) {
+	h := testHandler(t)
+	if rec := getExplain(t, h, "?n=0"); rec.Code != http.StatusBadRequest {
+		t.Errorf("n=0: status %d, want 400", rec.Code)
+	}
+	if rec := getExplain(t, h, "?n=-2"); rec.Code != http.StatusBadRequest {
+		t.Errorf("n=-2: status %d, want 400", rec.Code)
+	}
+	if rec := getExplain(t, h, "?n=bogus"); rec.Code != http.StatusBadRequest {
+		t.Errorf("n=bogus: status %d, want 400", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/explain/last", strings.NewReader("{}"))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST: status %d, want 405", rec.Code)
+	}
+}
+
+func TestSwapRefreshesExplainMeta(t *testing.T) {
+	h := testHandler(t)
+	tr := workload.SDSCSP2Like(500, 3)
+	repl := core.NewInspector(rand.New(rand.NewSource(2)), core.CompactedFeatures,
+		core.NormalizerForTrace(tr, metrics.BSLD), nil)
+	h.Swap(repl)
+	var resp ExplainLastResponse
+	rec := getExplain(t, h, "")
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.FeatureNames) != core.CompactedFeatures.Dim() {
+		t.Errorf("after swap: %d feature names, want %d", len(resp.FeatureNames), core.CompactedFeatures.Dim())
+	}
+}
+
+func TestRotatingWriter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	w, err := NewRotatingWriter(path, 34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	line := []byte("0123456789\n") // 11 bytes
+	for i := 0; i < 5; i++ {
+		if _, err := w.Write(line); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	// 3 lines fit under 34 bytes; the 4th write rotates. Current file holds
+	// lines 4-5, the .1 generation holds 1-3.
+	cur, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur) != 2*len(line) {
+		t.Errorf("current file %d bytes, want %d", len(cur), 2*len(line))
+	}
+	if len(prev) != 3*len(line) {
+		t.Errorf("rotated file %d bytes, want %d", len(prev), 3*len(line))
+	}
+}
+
+func TestRotatingWriterOversizedWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	w, err := NewRotatingWriter(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	big := []byte("this single line exceeds the bound\n")
+	if _, err := w.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cur) != string(big) {
+		t.Errorf("oversized write split across rotation: %q", cur)
+	}
+}
+
+func TestRotatingWriterUnbounded(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	w, err := NewRotatingWriter(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := w.Write([]byte("xxxxxxxxxx\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Errorf("maxBytes=0 must never rotate, found %s.1", path)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 100*11 {
+		t.Errorf("file size %d, want 1100", st.Size())
+	}
+}
+
+func TestRotatingWriterClosed(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewRotatingWriter(filepath.Join(dir, "a.log"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Error("write after Close should fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}

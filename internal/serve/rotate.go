@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RotatingWriter is a size-bounded append-only log file: when the file
+// would exceed maxBytes, it is renamed to path+".1" (replacing any previous
+// rotation) and a fresh file is opened. At most two generations therefore
+// exist on disk — 2*maxBytes bounds the total footprint — which is all a
+// long-running inspectord's audit log needs to never grow without limit.
+// Writes are serialized; a Write is never split across the rotation.
+type RotatingWriter struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+}
+
+// NewRotatingWriter opens (appending) the log at path, rotating whenever it
+// would exceed maxBytes. maxBytes <= 0 disables rotation — the file grows
+// unbounded, exactly like a plain os.OpenFile append.
+func NewRotatingWriter(path string, maxBytes int64) (*RotatingWriter, error) {
+	w := &RotatingWriter{path: path, maxBytes: maxBytes}
+	if err := w.open(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// open (re)opens the current-generation file and records its size. Caller
+// holds w.mu (or is the constructor).
+func (w *RotatingWriter) open() error {
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: rotating log: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("serve: rotating log: %w", err)
+	}
+	w.f = f
+	w.size = st.Size()
+	return nil
+}
+
+// Write appends p, rotating first when the write would push the current
+// file past the size bound (an oversized single write still lands whole in
+// a fresh file).
+func (w *RotatingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, fmt.Errorf("serve: rotating log: closed")
+	}
+	if w.maxBytes > 0 && w.size > 0 && w.size+int64(len(p)) > w.maxBytes {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// rotate closes the current generation, shifts it to path+".1" and opens a
+// fresh file. Caller holds w.mu.
+func (w *RotatingWriter) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("serve: rotating log: %w", err)
+	}
+	w.f = nil
+	if err := os.Rename(w.path, w.path+".1"); err != nil {
+		return fmt.Errorf("serve: rotating log: %w", err)
+	}
+	return w.open()
+}
+
+// Close closes the underlying file. Subsequent writes fail.
+func (w *RotatingWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"schedinspector/internal/core"
@@ -129,6 +130,11 @@ type Handler struct {
 
 	auditMu sync.Mutex
 	audit   *json.Encoder // decision audit log (JSONL), nil unless enabled
+
+	// Per-decision explainability (see explain.go): the last decisions in
+	// a bounded ring served over GET /v1/explain/last.
+	explains *obs.ExplainRecorder
+	decSeq   atomic.Int64 // lifetime decision sequence for explain records
 }
 
 // NewHandler wraps the inspector in an http.Handler with routes
@@ -141,7 +147,9 @@ func NewHandler(insp *core.Inspector) *Handler {
 		reg:       obs.NewRegistry(),
 		reqCounts: make(map[string]*obs.Counter),
 		latency:   make(map[string]*obs.Histogram),
+		explains:  obs.NewExplainRecorder(DefaultServeExplainCap),
 	}
+	h.explains.SetMeta(insp.Mode.FeatureNames(), insp.Mode.String(), insp.Norm.MaxRejections)
 	h.accepts = h.reg.Counter("schedinspector_inspect_decisions_total",
 		"Inspection verdicts served, by outcome.", obs.Labels{"verdict": "accept"})
 	h.rejects = h.reg.Counter("schedinspector_inspect_decisions_total",
@@ -166,6 +174,7 @@ func NewHandler(insp *core.Inspector) *Handler {
 	h.mux.HandleFunc("/v1/info", h.instrument("/v1/info", h.info))
 	h.mux.HandleFunc("/healthz", h.instrument("/healthz", h.info))
 	h.mux.HandleFunc("/v1/admin/reload", h.instrument("/v1/admin/reload", h.reload))
+	h.mux.HandleFunc("/v1/explain/last", h.instrument("/v1/explain/last", h.explainLast))
 	h.mux.Handle("/metrics", h.reg.Handler())
 	return h
 }
@@ -237,9 +246,11 @@ type auditRecord struct {
 	Reject     bool      `json:"reject"`
 }
 
-// recordDecision updates the decision metrics and, if enabled, the audit
-// log.
-func (h *Handler) recordDecision(req *InspectRequest, feat []float64, prob float64, reject bool) {
+// recordDecision updates the decision metrics, the explain ring, and (if
+// enabled) the audit log. maxRej is the served model's rejection cap,
+// captured under the model lock by the caller.
+func (h *Handler) recordDecision(req *InspectRequest, feat, logits, probs []float64, action, maxRej int, reject bool) {
+	prob := probs[core.ActionReject]
 	if reject {
 		h.rejects.Inc()
 	} else {
@@ -248,6 +259,20 @@ func (h *Handler) recordDecision(req *InspectRequest, feat []float64, prob float
 	total := h.accepts.Value() + h.rejects.Value()
 	h.rejRatio.Set(h.rejects.Value() / total)
 	h.probHist.Observe(prob)
+
+	util := 0.0
+	if req.TotalProcs > 0 {
+		util = 1 - float64(req.FreeProcs)/float64(req.TotalProcs)
+	}
+	h.explains.Record(obs.ExplainRecord{
+		Seq:  int(h.decSeq.Add(1)) - 1,
+		Wait: req.Job.Wait, Procs: req.Job.Procs, Est: req.Job.Est,
+		Rejections: req.Rejections, MaxRejections: maxRej,
+		QueueLen: len(req.Queue) + 1, FreeProcs: req.FreeProcs,
+		TotalProcs: req.TotalProcs, Utilization: util,
+		Features: feat, Logits: logits, Probs: probs,
+		Action: action, Sampled: true, Rejected: reject,
+	})
 
 	h.auditMu.Lock()
 	if h.audit != nil {
@@ -292,21 +317,19 @@ func (h *Handler) inspect(w http.ResponseWriter, r *http.Request) {
 		req.Job.Wait, req.Rejections, req.FreeProcs, req.TotalProcs,
 		req.BackfillEnabled, req.BackfillCount, queue)
 
-	h.auditMu.Lock()
-	auditing := h.audit != nil
-	h.auditMu.Unlock()
-
+	// One forward pass and exactly one RNG draw per request: Explain
+	// samples through the same kernel Stochastic does and exports the
+	// features, logits and probabilities the explain ring and audit log
+	// record — the previous RejectProb+Stochastic pair forwarded twice for
+	// the same numbers.
 	h.mu.Lock()
-	prob := h.insp.RejectProb(st)
-	reject := h.insp.Stochastic()(st)
-	var feat []float64
-	if auditing {
-		feat = h.insp.Norm.Features(nil, h.insp.Mode, st)
-	}
+	action, feat, logits, probs := h.insp.Explain(st, false)
+	maxRej := h.insp.Norm.MaxRejections
 	h.mu.Unlock()
+	reject := action == core.ActionReject
 
-	h.recordDecision(&req, feat, prob, reject)
-	writeJSON(w, InspectResponse{Reject: reject, RejectProb: prob})
+	h.recordDecision(&req, feat, logits, probs, action, maxRej, reject)
+	writeJSON(w, InspectResponse{Reject: reject, RejectProb: probs[core.ActionReject]})
 }
 
 // simulate runs a full what-if schedule over the submitted job sequence by

@@ -53,7 +53,8 @@ type Env struct {
 
 	interactive bool // yield at decision points (vs run straight through)
 	phase       envPhase
-	decision    int // queue index awaiting a verdict while phase == envYield
+	decision    int      // queue index awaiting a verdict while phase == envYield
+	pendSpan    obs.Span // decision span opened at the yield (only with cfg.Spans)
 
 	// Scratch buffers, retained across episodes.
 	resScratch []runningJob   // reservation's clamped estimated-end copy
@@ -139,6 +140,27 @@ func (e *Env) Step(reject bool) (*State, bool) {
 	}
 	idx := e.decision
 	w := &e.queue[idx]
+	if sp := e.cfg.Spans; sp != nil {
+		// Close the decision span opened at the yield: its wall duration is
+		// the caller's decision latency (policy inference plus driver
+		// overhead); its sim duration is zero — decisions are instantaneous
+		// in simulation time.
+		action := "accept"
+		if reject {
+			action = "reject"
+		}
+		e.pendSpan.Attrs = append(e.pendSpan.Attrs,
+			obs.Attr{Key: "action", Str: action},
+			obs.Attr{Key: "job", Num: float64(w.job.ID)},
+			obs.Attr{Key: "procs", Num: float64(w.job.Procs)},
+			obs.Attr{Key: "rejections", Num: float64(w.rejects)},
+			obs.Attr{Key: "free", Num: float64(e.free)},
+			obs.Attr{Key: "queue", Num: float64(len(e.queue))},
+		)
+		e.pendSpan.End(e.now)
+		sp.Emit(e.pendSpan)
+		e.pendSpan = obs.Span{}
+	}
 	if t := e.cfg.Tracer; t != nil {
 		kind := obs.EventAccept
 		if reject {
@@ -177,6 +199,10 @@ func (e *Env) Result() Result { return e.out }
 // Done reports whether the current episode has run to completion.
 func (e *Env) Done() bool { return e.phase == envDone }
 
+// Now returns the current simulation time — the clock value callers stamp
+// into spans that bracket env activity (episode and epoch spans).
+func (e *Env) Now() float64 { return e.now }
+
 // advance runs the simulation forward until the next inspectable scheduling
 // decision (returning true, with e.state filled and e.decision set) or the
 // end of the episode (returning false). Non-interactive episodes never
@@ -208,6 +234,13 @@ func (e *Env) advance() bool {
 		}
 		if e.interactive && e.queue[idx].rejects < e.cfg.MaxRejections {
 			e.fillState(idx)
+			if sp := e.cfg.Spans; sp != nil {
+				// Decision index (Inspections so far) keys the span ID, so
+				// identity is a pure function of (episode span, decision seq)
+				// — identical at any worker count.
+				id := obs.DeriveSpanID(uint64(e.cfg.SpanParent), uint64(e.out.Inspections))
+				e.pendSpan = obs.StartSpan("decision", id, e.cfg.SpanParent, e.now)
+			}
 			e.out.Inspections++
 			e.decision = idx
 			e.phase = envYield

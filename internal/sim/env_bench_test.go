@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"schedinspector/internal/obs"
 	"schedinspector/internal/sched"
 	"schedinspector/internal/workload"
 )
@@ -34,6 +35,34 @@ func BenchmarkEnvInspected(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg.NoValidate = true
+	env := NewEnv()
+	episode := func() int {
+		if _, err := RunEnv(env, jobs, cfg); err != nil {
+			b.Fatal(err)
+		}
+		return env.Result().Inspections
+	}
+	episode() // warm up the reusable buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	decisions := 0
+	for i := 0; i < b.N; i++ {
+		decisions += episode()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(decisions), "ns/decision")
+}
+
+// BenchmarkEnvInspectedSpanTraced is the same episode with the decision
+// flight recorder attached (span tracer, no sink): the price of always-on
+// tracing relative to BenchmarkEnvInspected, gated in BENCH_env.json.
+func BenchmarkEnvInspectedSpanTraced(b *testing.B) {
+	jobs, cfg := benchWindow(b)
+	if err := ValidateJobs(jobs, cfg.MaxProcs); err != nil {
+		b.Fatal(err)
+	}
+	cfg.NoValidate = true
+	cfg.Spans = obs.NewSpanTracer(1 << 12)
+	cfg.SpanParent = obs.DeriveSpanID(1)
 	env := NewEnv()
 	episode := func() int {
 		if _, err := RunEnv(env, jobs, cfg); err != nil {

@@ -99,6 +99,17 @@ type Config struct {
 	TrackUsage    bool         // record the usage timeline (Result.Usage)
 	Tracer        *obs.Tracer  // optional event tracer; nil (the default) costs one branch per event site
 
+	// Spans attaches the flight recorder's span tracer: every inspected
+	// decision emits one span (opened at the yield, closed by Step) whose
+	// wall duration is the caller's decision latency. SpanParent is the
+	// enclosing span — the rollout engine sets it to the episode span so
+	// traces nest run → epoch → episode → decision. Decision span IDs are
+	// derived from (SpanParent, decision index), never from execution
+	// order, so they are identical at any worker count. Nil Spans (the
+	// default) costs one branch per decision.
+	Spans      *obs.SpanTracer
+	SpanParent obs.SpanID
+
 	// NoValidate skips the per-run job validation and sortedness check.
 	// Set it when the jobs come from a pre-validated source — e.g. a
 	// workload.Trace that already passed Validate — so hot paths that

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+
+	"schedinspector/internal/obs"
+	"schedinspector/internal/sched"
+	"schedinspector/internal/workload"
+)
+
+// TestEnvDecisionSpans pins the flight-recorder contract of the Env: one
+// span per inspected decision, named "decision", parented to
+// Config.SpanParent, with an ID that is a pure function of (parent,
+// decision index) and an action attribute matching the verdict.
+func TestEnvDecisionSpans(t *testing.T) {
+	tr := workload.SDSCSP2Like(400, 11)
+	jobs := tr.Window(50, 64)
+	parent := obs.DeriveSpanID(42, 7)
+	spans := obs.NewSpanTracer(1 << 12)
+	cfg := Config{
+		MaxProcs: tr.MaxProcs, Policy: sched.SJF(), Backfill: true,
+		NoValidate: true, Spans: spans, SpanParent: parent,
+	}
+	env := NewEnv()
+	var verdicts []bool
+	st, done, err := env.Reset(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !done {
+		reject := st.Job.ID%5 == 0 && st.Rejections < 3
+		verdicts = append(verdicts, reject)
+		st, done = env.Step(reject)
+	}
+	res := env.Result()
+	got := spans.Spans()
+	if res.Inspections == 0 {
+		t.Fatal("window produced no inspections; widen it")
+	}
+	if len(got) != res.Inspections {
+		t.Fatalf("%d spans for %d inspections", len(got), res.Inspections)
+	}
+	for i, sp := range got {
+		if sp.Name != "decision" || sp.Parent != parent {
+			t.Fatalf("span %d: name %q parent %d, want decision/%d", i, sp.Name, sp.Parent, parent)
+		}
+		if want := obs.DeriveSpanID(uint64(parent), uint64(i)); sp.ID != want {
+			t.Fatalf("span %d: ID %d, want derived %d", i, sp.ID, want)
+		}
+		if sp.WallEnd < sp.WallStart {
+			t.Fatalf("span %d: wall end precedes start", i)
+		}
+		action := ""
+		for _, a := range sp.Attrs {
+			if a.Key == "action" {
+				action = a.Str
+			}
+		}
+		want := "accept"
+		if verdicts[i] {
+			want = "reject"
+		}
+		if action != want {
+			t.Fatalf("span %d: action %q, want %q", i, action, want)
+		}
+	}
+}
+
+// TestEnvDecisionSpanIDsDeterministic reruns the same episode and demands
+// the exact same span ID sequence — identity must never depend on wall
+// clock or execution interleaving.
+func TestEnvDecisionSpanIDsDeterministic(t *testing.T) {
+	tr := workload.SDSCSP2Like(400, 11)
+	jobs := tr.Window(50, 64)
+	run := func() []obs.SpanID {
+		spans := obs.NewSpanTracer(1 << 12)
+		cfg := Config{
+			MaxProcs: tr.MaxProcs, Policy: sched.SJF(), Backfill: true,
+			NoValidate: true, Spans: spans, SpanParent: 99,
+		}
+		env := NewEnv()
+		st, done, err := env.Reset(jobs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !done {
+			st, done = env.Step(st.Job.ID%5 == 0 && st.Rejections < 3)
+		}
+		var ids []obs.SpanID
+		for _, sp := range spans.Spans() {
+			ids = append(ids, sp.ID)
+		}
+		return ids
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("span counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("span %d: ID %d vs %d across identical runs", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEnvStepAllocsNilSpanTracer is the explicit flight-recorder variant of
+// TestEnvStepAllocs: with Config.Spans nil (tracing disabled) the span hook
+// in Env.Step must cost one branch and zero heap allocations per episode.
+func TestEnvStepAllocsNilSpanTracer(t *testing.T) {
+	tr := workload.SDSCSP2Like(3000, 13)
+	jobs := tr.Window(100, 256)
+	cfg := Config{
+		MaxProcs: tr.MaxProcs, Policy: sched.SJF(), Backfill: true,
+		NoValidate: true, Spans: nil, SpanParent: 0,
+	}
+	env := NewEnv()
+	episode := func() {
+		obsState, done, err := env.Reset(jobs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !done {
+			obsState, done = env.Step(obsState.Job.ID%7 == 0 && obsState.Rejections < 2)
+		}
+	}
+	episode() // warm up buffers
+	if allocs := testing.AllocsPerRun(5, episode); allocs > 0 {
+		t.Fatalf("nil span tracer episode allocated %.1f times, want 0", allocs)
+	}
+}

@@ -1,0 +1,37 @@
+// Package version carries the build identity stamped into the binaries via
+// -ldflags (see the Makefile's VERSION handling) and registers it as the
+// conventional build_info metric, so a /metrics scrape identifies exactly
+// which build is serving.
+package version
+
+import (
+	"runtime"
+
+	"schedinspector/internal/obs"
+)
+
+// Version is the stamped build version. The Makefile overrides it with
+//
+//	-ldflags "-X schedinspector/internal/version.Version=$(VERSION)"
+//
+// (git describe output); unstamped builds report "dev".
+var Version = "dev"
+
+// String returns "version (go version)".
+func String() string {
+	return Version + " (" + runtime.Version() + ")"
+}
+
+// Register adds the schedinspector_build_info gauge — constant 1, with the
+// build identity as labels — to reg. features names the served/trained
+// feature mode; pass "" when no model is bound and the label is omitted
+// from meaning (rendered empty).
+func Register(reg *obs.Registry, features string) {
+	reg.Gauge("schedinspector_build_info",
+		"Build identity of this binary; constant 1, identity in the labels.",
+		obs.Labels{
+			"version":    Version,
+			"go_version": runtime.Version(),
+			"features":   features,
+		}).Set(1)
+}

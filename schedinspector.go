@@ -104,6 +104,25 @@ type (
 	Tracer = obs.Tracer
 	// TraceEvent is one simulator event in a Tracer's buffer or JSONL sink.
 	TraceEvent = obs.Event
+	// FlightRecorder is the decision flight recorder: span tracing plus
+	// per-decision explain records, attached via TrainConfig.Flight or
+	// EvalConfig.Flight and streamed as interleaved JSONL with SetSink.
+	FlightRecorder = obs.FlightRecorder
+	// SpanTracer records completed trace spans (run → epoch → episode →
+	// decision) into a bounded ring and, optionally, a JSONL sink.
+	SpanTracer = obs.SpanTracer
+	// Span is one completed trace span.
+	Span = obs.Span
+	// SpanID identifies a span; IDs derive deterministically from stable
+	// tags (DeriveSpanID), so they match at any rollout worker count.
+	SpanID = obs.SpanID
+	// ExplainRecord is one fully-instrumented inspector decision: the
+	// feature vector, logits, action distribution, verdict and the
+	// scheduling context around it.
+	ExplainRecord = obs.ExplainRecord
+	// ExplainRecorder buffers ExplainRecords (the flight recorder's
+	// decision half).
+	ExplainRecorder = obs.ExplainRecorder
 	// MetricsRegistry renders counters/gauges/histograms in Prometheus
 	// text exposition format (the substrate behind inspectord's /metrics).
 	MetricsRegistry = obs.Registry
@@ -277,6 +296,18 @@ func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewFlightRecorder returns a decision flight recorder with the given span
+// and explain-record ring capacities (<= 0 selects the package defaults).
+// Attach via TrainConfig.Flight / EvalConfig.Flight; stream interleaved
+// JSONL with SetSink.
+func NewFlightRecorder(spanCap, decisionCap int) *FlightRecorder {
+	return obs.NewFlightRecorder(spanCap, decisionCap)
+}
+
+// DeriveSpanID hashes a chain of stable tags into a SpanID using the same
+// SplitMix64 discipline as the rollout engine's RNG streams.
+func DeriveSpanID(tags ...uint64) SpanID { return obs.DeriveSpanID(tags...) }
 
 // NewRolloutMetrics registers the rollout-engine instruments on r and
 // returns the bundle to set on TrainConfig.Metrics or EvalConfig.Metrics.
