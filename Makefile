@@ -40,7 +40,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/serve/ ./internal/rollout/ ./internal/ckpt/
+	$(GO) test -race ./internal/obs/ ./internal/serve/ ./internal/rollout/ ./internal/ckpt/ ./internal/explain/
 	$(GO) test -race -short ./internal/core/ ./internal/rl/ ./internal/sim/
 
 bench: bench-env
@@ -66,8 +66,11 @@ equiv:
 	$(GO) test -race -run 'Equiv' -count=1 ./internal/sim/ ./internal/core/
 
 # trace-smoke exercises the decision flight recorder end to end at smoke
-# scale: a tiny training run records a flight trace, and every explain
-# query plus the expreport reject plot must run clean over it.
+# scale, on both recording paths: a tiny training run records a JSONL
+# flight trace and every explain query plus the expreport reject plot must
+# run clean over it; then the same run records a binary .ftrace, which must
+# be queryable natively, convertible to JSONL offline, and queryable again
+# through the converted file.
 trace-smoke:
 	@tmp=$$(mktemp -d) && \
 	$(GO) run $(LDFLAGS) ./cmd/schedinspect train -trace SDSC-SP2 -jobs 2000 \
@@ -77,6 +80,13 @@ trace-smoke:
 	$(GO) run ./cmd/schedinspect explain -in $$tmp/flight.jsonl -feature-stats && \
 	$(GO) run ./cmd/schedinspect explain -in $$tmp/flight.jsonl -top-rejected 5 && \
 	$(GO) run ./cmd/expreport -rejects $$tmp/flight.jsonl && \
+	$(GO) run $(LDFLAGS) ./cmd/schedinspect train -trace SDSC-SP2 -jobs 2000 \
+		-epochs 1 -batch 4 -seqlen 64 -seed 42 \
+		-flight $$tmp/flight.ftrace -model $$tmp/model2.gob && \
+	$(GO) run ./cmd/schedinspect explain -in $$tmp/flight.ftrace && \
+	$(GO) run ./cmd/schedinspect explain -in $$tmp/flight.ftrace -feature-stats && \
+	$(GO) run ./cmd/schedinspect explain -in $$tmp/flight.ftrace -convert $$tmp/converted.jsonl && \
+	$(GO) run ./cmd/schedinspect explain -in $$tmp/converted.jsonl -feature-stats && \
 	rm -rf $$tmp
 
 # fuzz-smoke gives every fuzz target a short budget (override with
@@ -85,5 +95,6 @@ trace-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSWF$$' -fuzztime $(FUZZTIME) ./internal/workload/
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadCheckpoint$$' -fuzztime $(FUZZTIME) ./internal/ckpt/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFTrace$$' -fuzztime $(FUZZTIME) ./internal/explain/
 
 verify: build vet fmt-check race test

@@ -13,6 +13,9 @@
 //	GET  /metrics         — Prometheus text exposition (requests, latency,
 //	                        decision counters, reject ratio, model
 //	                        generation and reload counters)
+//	GET  /v1/trace/snapshot — dump the in-memory binary flight-recorder
+//	                        ring (JSONL by default, ?format=ftrace for the
+//	                        raw binary image)
 //	GET  /debug/pprof     — CPU/heap/goroutine profiling (only with -pprof)
 //
 // -model accepts either a saved model (schedinspect train's model.gob) or
@@ -60,6 +63,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "decision-sampling seed (0 = time-based)")
 		audit      = flag.String("audit", "", "append a JSONL decision audit log (request, features, verdict) to this file")
 		auditMaxMB = flag.Int("audit-max-mb", 64, "rotate the audit log when it exceeds this many MiB, keeping one previous generation (0 = unlimited)")
+		flight     = flag.String("flight", "", "stream the binary flight-recorder ring to this .ftrace file (decisions + proc samples; always queryable live at /v1/trace/snapshot)")
 		procEvery  = flag.Duration("proc-interval", 30*time.Second, "runtime self-profiling snapshot interval (0 disables)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		drainFor   = flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
@@ -115,9 +119,28 @@ func main() {
 		}
 	}
 
+	if *flight != "" {
+		f, err := os.Create(*flight)
+		if err != nil {
+			log.Fatalf("inspectord: flight trace: %v", err)
+		}
+		defer f.Close()
+		h.TraceRing().SetSink(f)
+		defer func() {
+			if err := h.TraceRing().Flush(); err != nil {
+				log.Printf("inspectord: flight trace: %v", err)
+			}
+		}()
+		log.Printf("inspectord: recording binary flight trace to %s", *flight)
+	}
+
 	version.Register(h.Registry(), insp.Mode.String())
 	if *procEvery > 0 {
 		ps := obs.NewProcSampler(obs.DefaultProcCap, h.Registry())
+		// Runtime snapshots ride along in the decision trace, so an offline
+		// .ftrace (or a /v1/trace/snapshot dump) correlates scheduling
+		// decisions with the process's memory/GC/goroutine state.
+		ps.TraceTo(h.TraceRing())
 		stopProc := ps.Start(*procEvery)
 		defer stopProc()
 	}

@@ -70,11 +70,60 @@ func usage() {
   schedinspect eval  -trace NAME [-swf FILE] -policy SJF -metric bsld [-sequences N] [-workers N] [-backfill] -model IN.gob
   schedinspect stats -trace NAME [-swf FILE]
   schedinspect inspect -trace NAME [-swf FILE] -policy SJF -model IN.gob
-  schedinspect explain -in FLIGHT.jsonl [-job ID | -window T0:T1 | -top-rejected N | -feature-stats]
+  schedinspect explain -in FLIGHT[.jsonl|.ftrace] [-convert OUT.jsonl | -job ID | -window T0:T1 | -top-rejected N | -feature-stats]
   schedinspect version
 
-train and eval accept -flight OUT.jsonl to record a decision flight trace
-(spans + per-decision explain records) for schedinspect explain.`)
+train and eval accept -flight OUT to record a decision flight trace (spans +
+per-decision explain records) for schedinspect explain. With -flight-format
+binary (or an .ftrace path) the trace records through the zero-allocation
+arena-backed ring and is written as binary .ftrace; explain reads both
+formats and -convert turns .ftrace into the equivalent JSONL.`)
+}
+
+// flightFlags adds the shared flight-recorder flags to fs.
+func flightFlags(fs *flag.FlagSet) (path *string, format *string) {
+	path = fs.String("flight", "", "record a decision flight trace (spans + explain records) to this file")
+	format = fs.String("flight-format", "auto",
+		"flight trace format: jsonl, binary (.ftrace ring), or auto (binary iff the path ends in .ftrace)")
+	return
+}
+
+// openFlight builds the flight recorder for -flight and attaches the sink
+// file. Binary mode records through the arena-backed TraceRing and writes
+// .ftrace; JSONL mode is the legacy interleaved-lines sink.
+func openFlight(path, format string) (*insp.FlightRecorder, *os.File, error) {
+	binary := false
+	switch format {
+	case "auto":
+		binary = strings.HasSuffix(path, ".ftrace")
+	case "jsonl":
+	case "binary":
+		binary = true
+	default:
+		return nil, nil, fmt.Errorf("unknown -flight-format %q (want auto, jsonl or binary)", format)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rec *insp.FlightRecorder
+	if binary {
+		rec = insp.NewBinaryFlightRecorder(0, 0)
+	} else {
+		rec = insp.NewFlightRecorder(0, 0)
+	}
+	rec.SetSink(f)
+	return rec, f, nil
+}
+
+// closeFlight flushes the recorder and surfaces the first sink error as the
+// command's exit status.
+func closeFlight(rec *insp.FlightRecorder, path string) error {
+	if err := rec.Flush(); err != nil {
+		return fmt.Errorf("flight trace: %w", err)
+	}
+	fmt.Printf("flight trace written to %s (inspect with: schedinspect explain -in %s)\n", path, path)
+	return nil
 }
 
 // traceFlags adds the shared trace-selection flags to fs.
@@ -118,7 +167,7 @@ func cmdTrain(args []string) error {
 	ckptEvery := fs.Int("checkpoint-every", 10, "epochs between periodic checkpoints (with -checkpoint-dir)")
 	ckptKeep := fs.Int("checkpoint-keep", 3, "checkpoint files to retain, oldest pruned first (0 = keep all)")
 	resume := fs.Bool("resume", false, "resume from the latest valid checkpoint in -checkpoint-dir")
-	flight := fs.String("flight", "", "record a decision flight trace (spans + explain records, JSONL) to this file")
+	flight, flightFormat := flightFlags(fs)
 	fs.Parse(args)
 
 	if *resume && *ckptDir == "" {
@@ -161,13 +210,12 @@ func cmdTrain(args []string) error {
 	}
 	var flightRec *insp.FlightRecorder
 	if *flight != "" {
-		f, err := os.Create(*flight)
+		rec, f, err := openFlight(*flight, *flightFormat)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		flightRec = insp.NewFlightRecorder(0, 0)
-		flightRec.SetSink(f)
+		flightRec = rec
 		cfg.Flight = flightRec
 	}
 	trainer, err := insp.NewTrainer(cfg)
@@ -219,10 +267,9 @@ func cmdTrain(args []string) error {
 	}
 	fmt.Printf("model saved to %s\n", *model)
 	if flightRec != nil {
-		if err := flightRec.SinkErr(); err != nil {
-			return fmt.Errorf("flight trace: %w", err)
+		if err := closeFlight(flightRec, *flight); err != nil {
+			return err
 		}
-		fmt.Printf("flight trace written to %s (inspect with: schedinspect explain -in %s)\n", *flight, *flight)
 	}
 	return nil
 }
@@ -237,7 +284,7 @@ func cmdEval(args []string) error {
 	backfill := fs.Bool("backfill", false, "enable EASY backfilling")
 	model := fs.String("model", "model.gob", "trained model path")
 	workers := fs.Int("workers", 0, "rollout worker goroutines (0 = one per CPU); results are identical at any count")
-	flight := fs.String("flight", "", "record a decision flight trace (spans + explain records, JSONL) to this file")
+	flight, flightFormat := flightFlags(fs)
 	fs.Parse(args)
 
 	tr, err := loadTrace(*name, *swf, *jobs, *seed)
@@ -265,13 +312,12 @@ func cmdEval(args []string) error {
 	}
 	var flightRec *insp.FlightRecorder
 	if *flight != "" {
-		f, err := os.Create(*flight)
+		rec, f, err := openFlight(*flight, *flightFormat)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		flightRec = insp.NewFlightRecorder(0, 0)
-		flightRec.SetSink(f)
+		flightRec = rec
 		evalCfg.Flight = flightRec
 	}
 	res, err := insp.Evaluate(mod, evalCfg)
@@ -279,10 +325,9 @@ func cmdEval(args []string) error {
 		return err
 	}
 	if flightRec != nil {
-		if err := flightRec.SinkErr(); err != nil {
-			return fmt.Errorf("flight trace: %w", err)
+		if err := closeFlight(flightRec, *flight); err != nil {
+			return err
 		}
-		fmt.Printf("flight trace written to %s (inspect with: schedinspect explain -in %s)\n", *flight, *flight)
 	}
 	base, ins := res.Boxes(m)
 	fmt.Printf("metric %s over %d sequences of %d jobs (%s, backfill=%v):\n",
@@ -364,17 +409,23 @@ func cmdInspect(args []string) error {
 }
 
 // cmdExplain queries a recorded decision flight trace: the offline half of
-// the flight recorder, answering "why was job X rejected" from the JSONL
-// file a train/eval -flight run (or inspectord) wrote.
+// the flight recorder, answering "why was job X rejected" from the JSONL or
+// binary .ftrace file a train/eval -flight run (or inspectord) wrote. The
+// format is sniffed from the file's leading bytes, so every query flag works
+// on both. -convert decodes a binary trace to the canonical JSONL.
 func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
-	in := fs.String("in", "flight.jsonl", "flight-recorder JSONL trace to read")
+	in := fs.String("in", "flight.jsonl", "flight-recorder trace to read (JSONL or binary .ftrace, sniffed)")
+	convert := fs.String("convert", "", "convert a binary .ftrace trace to flight-recorder JSONL at this path (\"-\" for stdout)")
 	job := fs.Int("job", -1, "print every decision about this job ID")
 	window := fs.String("window", "", "print decisions in a simulation-time window T0:T1 (seconds)")
 	topRejected := fs.Int("top-rejected", 0, "print the N most-rejected jobs")
 	featureStats := fs.Bool("feature-stats", false, "print per-feature accept/reject means and deltas (the §5 reject attribution)")
 	fs.Parse(args)
 
+	if *convert != "" {
+		return convertTrace(*in, *convert)
+	}
 	tr, err := explain.ReadTraceFile(*in)
 	if err != nil {
 		return err
@@ -419,6 +470,36 @@ func cmdExplain(args []string) error {
 		fmt.Println("use -job, -window, -top-rejected or -feature-stats to drill in")
 		return nil
 	}
+}
+
+// convertTrace decodes a binary .ftrace flight trace to the canonical
+// flight-recorder JSONL. A corrupt or truncated input converts the valid
+// prefix and then reports the error (non-zero exit), so partial recoveries
+// are kept but never mistaken for complete traces.
+func convertTrace(in, out string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := os.Stdout
+	if out != "-" {
+		w, err = os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	if err := explain.ConvertFTrace(f, w); err != nil {
+		return fmt.Errorf("convert %s: %w", in, err)
+	}
+	if out != "-" {
+		if err := w.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("converted %s to %s\n", in, out)
+	}
+	return nil
 }
 
 func parseFeatures(s string) (insp.FeatureMode, error) {

@@ -232,10 +232,11 @@ func Evaluate(insp *Inspector, cfg EvalConfig) (EvalResult, error) {
 		evalID := obs.DeriveSpanID(uint64(cfg.Seed), streamEval)
 		evalSpan = obs.StartSpan("eval", evalID, 0, 0)
 		rollCfg.Spans = cfg.Flight.SpanTracer()
+		rollCfg.Ring = cfg.Flight.TraceRing()
 		rollCfg.SpanRoot = evalID
 		if insp != nil {
-			cfg.Flight.Explains().SetMeta(insp.Mode.FeatureNames(), insp.Mode.String(), cfg.MaxRejections)
-			sampler.explainTo(cfg.Flight.Explains(), 0, cfg.MaxRejections)
+			cfg.Flight.SetMeta(insp.Mode.FeatureNames(), insp.Mode.String(), cfg.MaxRejections)
+			sampler.explainTo(cfg.Flight, 0, cfg.MaxRejections)
 		}
 	}
 	results, rep, err := rollout.Run(episodes, rollCfg)
@@ -265,7 +266,7 @@ func Evaluate(insp *Inspector, cfg EvalConfig) (EvalResult, error) {
 			obs.Attr{Key: "rejections", Num: float64(out.Rejections)},
 		)
 		evalSpan.End(0)
-		cfg.Flight.SpanTracer().Emit(evalSpan)
+		cfg.Flight.EmitSpan(evalSpan)
 	}
 	return out, nil
 }

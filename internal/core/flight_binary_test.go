@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"schedinspector/internal/explain"
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/obs"
+	"schedinspector/internal/sched"
+	"schedinspector/internal/workload"
+)
+
+// TestBinaryFlightByteIdentityEndToEnd is the golden acceptance pin for the
+// binary flight recorder: ONE training run dual-emits every span and
+// decision through both the legacy JSONL sinks and the binary ring, so both
+// files share wall timestamps; converting the .ftrace stream must reproduce
+// the JSONL file byte for byte.
+func TestBinaryFlightByteIdentityEndToEnd(t *testing.T) {
+	var jsonl, ftrace bytes.Buffer
+	flight := &obs.FlightRecorder{
+		Spans:     obs.NewSpanTracer(1 << 14),
+		Decisions: obs.NewExplainRecorder(1 << 14),
+		Ring:      obs.NewTraceRing(1<<13, 1024),
+	}
+	// Sinks attach to the halves directly (a single sequential worker, so
+	// the shared JSONL buffer needs no locking), before NewTrainer's SetMeta
+	// emits the headers into both streams.
+	flight.Spans.SetSink(&jsonl)
+	flight.Decisions.SetSink(&jsonl)
+	flight.Ring.SetSink(&ftrace)
+
+	tr := workload.SDSCSP2Like(3000, 7)
+	trainer, err := NewTrainer(TrainConfig{
+		Trace: tr, Policy: sched.SJF(), Metric: metrics.BSLD,
+		Batch: 6, SeqLen: 64, Seed: 11, Workers: 1, Flight: flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trainer.Train(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := flight.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if flight.Decisions.Total() == 0 {
+		t.Fatal("training recorded nothing")
+	}
+	if flight.Ring.Dropped() > 0 || flight.Ring.Oversized() > 0 {
+		t.Fatalf("ring overflow invalidates the comparison (dropped %d, oversize %d); raise capacities",
+			flight.Ring.Dropped(), flight.Ring.Oversized())
+	}
+
+	var converted bytes.Buffer
+	if err := explain.ConvertFTrace(bytes.NewReader(ftrace.Bytes()), &converted); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(converted.Bytes(), jsonl.Bytes()) {
+		a, b := converted.Bytes(), jsonl.Bytes()
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		at := n
+		for i := 0; i < n; i++ {
+			if a[i] != b[i] {
+				at = i
+				break
+			}
+		}
+		lo := at - 120
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("converted .ftrace differs from the legacy JSONL at byte %d (sizes %d vs %d):\nconverted: %q\nlegacy:    %q",
+			at, len(a), len(b), a[lo:min(at+120, len(a))], b[lo:min(at+120, len(b))])
+	}
+}
+
+// TestBinaryFlightWorkerEquivalence carries the PR-5 worker-count pin over
+// to the binary ring: workers=1 and workers=8 runs yield the identical
+// decision-record set (order-normalized) and span ID set when read back from
+// the ring's own .ftrace snapshot.
+func TestBinaryFlightWorkerEquivalence(t *testing.T) {
+	run := func(workers int) ([]obs.ExplainRecord, map[obs.SpanID]bool) {
+		flight := obs.NewBinaryFlightRecorder(1<<13, 1024)
+		trainer, err := NewTrainer(TrainConfig{
+			Trace: workload.SDSCSP2Like(3000, 7), Policy: sched.SJF(), Metric: metrics.BSLD,
+			Batch: 6, SeqLen: 64, Seed: 11, Workers: workers, Flight: flight,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := trainer.Train(2, nil); err != nil {
+			t.Fatal(err)
+		}
+		ring := flight.TraceRing()
+		if ring.Dropped() > 0 || ring.Oversized() > 0 {
+			t.Fatalf("ring overflow invalidates the comparison; raise capacities")
+		}
+		tr, err := explain.ReadFTrace(bytes.NewReader(ring.Snapshot()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make(map[obs.SpanID]bool)
+		for _, sp := range tr.Spans {
+			ids[sp.ID] = true
+		}
+		return tr.Records, ids
+	}
+	seqRecs, seqIDs := run(1)
+	parRecs, parIDs := run(8)
+	if len(seqRecs) == 0 {
+		t.Fatal("training recorded no decision records")
+	}
+	// ReadFTrace order-normalizes records by (Epoch, Traj, Seq) already.
+	if !reflect.DeepEqual(seqRecs, parRecs) {
+		t.Fatalf("decision records differ between worker counts: %d vs %d records",
+			len(seqRecs), len(parRecs))
+	}
+	if !reflect.DeepEqual(seqIDs, parIDs) {
+		t.Fatalf("span ID sets differ: workers=1 has %d, workers=8 has %d", len(seqIDs), len(parIDs))
+	}
+}

@@ -204,7 +204,7 @@ func NewTrainer(cfg TrainConfig) (*Trainer, error) {
 	norm := NewNormalizer(workload.ComputeStats(cfg.Trace), cfg.Metric, cfg.MaxRejections, cfg.MaxInterval)
 	insp := NewInspector(rng, cfg.FeatureMode, norm, cfg.Hidden)
 	if cfg.Flight != nil {
-		cfg.Flight.Explains().SetMeta(cfg.FeatureMode.FeatureNames(), cfg.FeatureMode.String(), cfg.MaxRejections)
+		cfg.Flight.SetMeta(cfg.FeatureMode.FeatureNames(), cfg.FeatureMode.String(), cfg.MaxRejections)
 	}
 	return &Trainer{
 		cfg:       cfg,
@@ -324,8 +324,9 @@ func (t *Trainer) RunEpoch() (EpochStats, error) {
 		epochID := obs.DeriveSpanID(uint64(t.cfg.Seed), streamTrain, uint64(t.epoch))
 		epochSpan = obs.StartSpan("epoch", epochID, 0, 0)
 		rollCfg.Spans = t.cfg.Flight.SpanTracer()
+		rollCfg.Ring = t.cfg.Flight.TraceRing()
 		rollCfg.SpanRoot = epochID
-		sampler.explainTo(t.cfg.Flight.Explains(), t.epoch, t.cfg.MaxRejections)
+		sampler.explainTo(t.cfg.Flight, t.epoch, t.cfg.MaxRejections)
 	}
 	results, rep, runErr := rollout.Run(eps, rollCfg)
 	busy += rep.Busy
@@ -388,7 +389,7 @@ func (t *Trainer) RunEpoch() (EpochStats, error) {
 			obs.Attr{Key: "mean_reward", Num: stats.MeanReward},
 		)
 		epochSpan.End(0)
-		t.cfg.Flight.SpanTracer().Emit(epochSpan)
+		t.cfg.Flight.EmitSpan(epochSpan)
 	}
 	if t.cfg.Logger != nil {
 		t.cfg.Logger.LogEpoch(stats)

@@ -38,10 +38,11 @@ type waveSampler struct {
 	// coordinator-only and a slot's decisions arrive in its episode's step
 	// order, so the key — and with it every record field — is independent
 	// of wave composition and worker count.
-	rec    *obs.ExplainRecorder
-	epoch  int
-	maxRej int
-	seqs   map[int]int // per-slot decision counters
+	flight     *obs.FlightRecorder
+	epoch      int
+	maxRej     int
+	seqs       map[int]int       // per-slot decision counters
+	recScratch obs.ExplainRecord // reused record; RecordDecision copies
 }
 
 // newWaveSampler builds a sampler over slots episode slots using insp as
@@ -61,14 +62,14 @@ func newWaveSampler(insp *Inspector, rngs []*rand.Rand, slots int, record bool) 
 	return s
 }
 
-// explainTo attaches an explain recorder: every subsequent decision is
-// recorded with the given epoch tag and rejection cap. A nil rec disables
-// recording.
-func (s *waveSampler) explainTo(rec *obs.ExplainRecorder, epoch, maxRejections int) {
-	s.rec = rec
+// explainTo attaches a flight recorder: every subsequent decision emits one
+// explain record to each of its halves (JSONL recorder and/or binary ring).
+// A nil f disables recording.
+func (s *waveSampler) explainTo(f *obs.FlightRecorder, epoch, maxRejections int) {
+	s.flight = f
 	s.epoch = epoch
 	s.maxRej = maxRejections
-	if rec != nil && s.seqs == nil {
+	if f != nil && s.seqs == nil {
 		s.seqs = make(map[int]int)
 	}
 }
@@ -108,7 +109,7 @@ func (s *waveSampler) decide(pending []rollout.Pending, rejects []bool) {
 			})
 		}
 		rejects[i] = action == ActionReject
-		if s.rec != nil {
+		if s.flight != nil {
 			if s.greedy {
 				// Sampling left softmax(lg) in s.probs; the greedy branch
 				// skipped it, so fill the scratch now for the record.
@@ -122,17 +123,21 @@ func (s *waveSampler) decide(pending []rollout.Pending, rejects []bool) {
 			if st.TotalProcs > 0 {
 				util = 1 - float64(st.FreeProcs)/float64(st.TotalProcs)
 			}
-			s.rec.Record(obs.ExplainRecord{
+			// The record borrows the sampler's scratch slices:
+			// RecordDecision copies them into whichever halves retain data
+			// (the ring's arena, the JSONL recorder's owned slices).
+			s.recScratch = obs.ExplainRecord{
 				Epoch: s.epoch, Traj: slot, Seq: seq, Time: st.Now,
 				JobID: st.Job.ID, Wait: st.JobWait, Procs: st.Job.Procs, Est: st.Job.Est,
 				Rejections: st.Rejections, MaxRejections: s.maxRej,
 				QueueLen: len(st.Queue) + 1, FreeProcs: st.FreeProcs,
 				TotalProcs: st.TotalProcs, Utilization: util,
-				Features: append([]float64(nil), s.feats[i*dim:(i+1)*dim]...),
-				Logits:   append([]float64(nil), lg...),
-				Probs:    append([]float64(nil), s.probs[:len(lg)]...),
+				Features: s.feats[i*dim : (i+1)*dim],
+				Logits:   lg,
+				Probs:    s.probs[:len(lg)],
 				Action:   action, Sampled: !s.greedy, Rejected: rejects[i],
-			})
+			}
+			s.flight.RecordDecision(&s.recScratch)
 		}
 	}
 }

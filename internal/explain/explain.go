@@ -34,6 +34,9 @@ type Trace struct {
 	Records []obs.ExplainRecord
 	// Spans holds every span line in file order.
 	Spans []obs.Span
+	// Procs holds every runtime-sampler record in file order — the GC/heap
+	// context stream a ProcSampler threads into binary traces.
+	Procs []obs.ProcStats
 }
 
 // kindProbe peeks at the line discriminator before a full decode.
@@ -43,8 +46,8 @@ type kindProbe struct {
 
 // ReadTrace parses an interleaved flight-recorder JSONL stream. Lines are
 // discriminated by their "kind" field ("span", "explain_header",
-// "decision"); blank lines are skipped and unknown kinds are ignored so
-// traces remain forward-compatible.
+// "decision", "proc"); blank lines are skipped and unknown kinds are
+// ignored so traces remain forward-compatible.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	tr := &Trace{}
 	sc := bufio.NewScanner(r)
@@ -79,6 +82,12 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("explain: line %d: %w", lineNo, err)
 			}
 			tr.Records = append(tr.Records, d)
+		case "proc":
+			var p obs.ProcStats
+			if err := json.Unmarshal(line, &p); err != nil {
+				return nil, fmt.Errorf("explain: line %d: %w", lineNo, err)
+			}
+			tr.Procs = append(tr.Procs, p)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -88,14 +97,21 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	return tr, nil
 }
 
-// ReadTraceFile is ReadTrace over a file path.
+// ReadTraceFile reads a flight-recorder trace from a file path, sniffing
+// the format: files opening with the .ftrace magic decode through
+// ReadFTrace, everything else parses as JSONL via ReadTrace.
 func ReadTraceFile(path string) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("explain: %w", err)
 	}
 	defer f.Close()
-	return ReadTrace(f)
+	br := bufio.NewReaderSize(f, 64*1024)
+	head, _ := br.Peek(8)
+	if obs.IsFTrace(head) {
+		return ReadFTrace(br)
+	}
+	return ReadTrace(br)
 }
 
 // sortRecords orders by the stable decision key (Epoch, Traj, Seq) — the

@@ -1,0 +1,292 @@
+package explain
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"schedinspector/internal/obs"
+)
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// recordFixture drives one fixed sequence of trace emissions — meta, two
+// spans, three decisions, one proc sample — through any recorder front-end.
+// Spans carry explicit wall times so the legacy JSONL sink and the binary
+// ring see bit-identical inputs.
+type traceSink interface {
+	SetMeta(names []string, mode string, maxRejections int)
+	EmitSpan(s *obs.Span)
+	EmitDecision(r *obs.ExplainRecord)
+}
+
+func fixtureSpans() []obs.Span {
+	return []obs.Span{
+		{ID: 11, Parent: 3, Name: "decision", WallStart: 1000, WallEnd: 1050,
+			SimStart: 10, SimEnd: 10,
+			Attrs: []obs.Attr{{Key: "job", Num: 7}, {Key: "verdict", Str: "reject"}}},
+		{ID: 12, Parent: 3, Name: "episode", WallStart: 900, WallEnd: 2000,
+			SimStart: 0, SimEnd: 500, Attrs: []obs.Attr{{Key: "slot", Num: 2}}},
+	}
+}
+
+func fixtureDecisions() []obs.ExplainRecord {
+	return []obs.ExplainRecord{
+		{Epoch: 0, Traj: 0, Seq: 0, Time: 100, JobID: 7, Wait: 10, Procs: 4, Est: 600,
+			Rejections: 0, MaxRejections: 72, QueueLen: 2, FreeProcs: 32, TotalProcs: 64,
+			Utilization: 0.5, Action: 1, Sampled: true, Rejected: true,
+			Features: []float64{0.1, 0.2}, Logits: []float64{0.5, -0.5}, Probs: []float64{0.73, 0.27}},
+		{Epoch: 0, Traj: 1, Seq: 0, Time: 150, JobID: 9, Wait: 0.5, Procs: 8, Est: 120,
+			Rejections: 1, MaxRejections: 72, QueueLen: 1, FreeProcs: 8, TotalProcs: 64,
+			Utilization: 0.875, Action: 0, Sampled: false, Rejected: false,
+			Features: []float64{0.4, 0.8}, Logits: []float64{-0.3, 0.3}, Probs: []float64{0.35, 0.65}},
+		// Nil slices: the wire forms must round-trip "absent" faithfully.
+		{Epoch: 1, Traj: 0, Seq: 2, Time: 300, JobID: 13, MaxRejections: 72,
+			TotalProcs: 64, Action: 1, Rejected: true},
+	}
+}
+
+var fixtureProc = obs.ProcStats{Wall: 1700000000, Goroutines: 12,
+	HeapAlloc: 5 << 20, HeapSys: 32 << 20, NumGC: 4, PauseTotal: 123456}
+
+func emitFixture(s traceSink, procs func(obs.ProcStats)) {
+	s.SetMeta([]string{"fa", "fb"}, "manual", 72)
+	spans, decs := fixtureSpans(), fixtureDecisions()
+	s.EmitSpan(&spans[0])
+	s.EmitDecision(&decs[0])
+	s.EmitDecision(&decs[1])
+	if procs != nil {
+		procs(fixtureProc)
+	}
+	s.EmitSpan(&spans[1])
+	s.EmitDecision(&decs[2])
+}
+
+// legacySink adapts the JSONL SpanTracer/ExplainRecorder pair to traceSink.
+type legacySink struct {
+	spans *obs.SpanTracer
+	decs  *obs.ExplainRecorder
+}
+
+func (l legacySink) SetMeta(names []string, mode string, maxRej int) {
+	l.decs.SetMeta(names, mode, maxRej)
+}
+func (l legacySink) EmitSpan(s *obs.Span) { l.spans.Emit(*s) }
+func (l legacySink) EmitDecision(r *obs.ExplainRecord) {
+	cp := *r
+	cp.Features = append([]float64(nil), r.Features...)
+	cp.Logits = append([]float64(nil), r.Logits...)
+	cp.Probs = append([]float64(nil), r.Probs...)
+	l.decs.Record(cp)
+}
+
+// ftraceFixture returns the fixture encoded as a flushed .ftrace stream.
+func ftraceFixture(t *testing.T, procs bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	r := obs.NewTraceRing(64, 512)
+	r.SetSink(&buf)
+	var emitProc func(obs.ProcStats)
+	if procs {
+		emitProc = r.EmitProc
+	}
+	emitFixture(r, emitProc)
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadFTraceRoundTrip(t *testing.T) {
+	tr, err := ReadFTrace(bytes.NewReader(ftraceFixture(t, true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header == nil || tr.Header.Mode != "manual" || tr.Header.MaxRejections != 72 ||
+		!reflect.DeepEqual(tr.Header.Features, []string{"fa", "fb"}) {
+		t.Fatalf("header %+v", tr.Header)
+	}
+	if !reflect.DeepEqual(tr.Spans, fixtureSpans()) {
+		t.Fatalf("spans:\n got %+v\nwant %+v", tr.Spans, fixtureSpans())
+	}
+	// Records come back sorted by (Epoch, Traj, Seq); the fixture already is.
+	if !reflect.DeepEqual(tr.Records, fixtureDecisions()) {
+		t.Fatalf("records:\n got %+v\nwant %+v", tr.Records, fixtureDecisions())
+	}
+	if len(tr.Procs) != 1 || tr.Procs[0] != fixtureProc {
+		t.Fatalf("procs %+v", tr.Procs)
+	}
+}
+
+// TestConvertFTraceByteIdentity is the tentpole's golden pin: converting a
+// binary .ftrace trace yields byte-for-byte the JSONL the legacy sinks write
+// for the same records, so every downstream JSONL consumer works unchanged.
+func TestConvertFTraceByteIdentity(t *testing.T) {
+	var jsonl bytes.Buffer
+	spans := obs.NewSpanTracer(64)
+	decs := obs.NewExplainRecorder(64)
+	spans.SetSink(&jsonl)
+	decs.SetSink(&jsonl)
+	emitFixture(legacySink{spans: spans, decs: decs}, nil)
+	if err := spans.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := decs.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	var converted bytes.Buffer
+	if err := ConvertFTrace(bytes.NewReader(ftraceFixture(t, false)), &converted); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(converted.Bytes(), jsonl.Bytes()) {
+		t.Fatalf("converted JSONL differs from the legacy sink:\n--- converted ---\n%s\n--- legacy ---\n%s",
+			converted.String(), jsonl.String())
+	}
+	// And the converted output reads back through the JSONL reader.
+	tr, err := ReadTrace(bytes.NewReader(converted.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 3 || len(tr.Spans) != 2 || tr.Header == nil {
+		t.Fatalf("converted trace shape wrong: %d records, %d spans", len(tr.Records), len(tr.Spans))
+	}
+}
+
+// TestConvertFTraceProcLines pins the proc-sample wire form in the converted
+// output: a {"kind":"proc",...} line the JSONL reader files under Procs.
+func TestConvertFTraceProcLines(t *testing.T) {
+	var converted bytes.Buffer
+	if err := ConvertFTrace(bytes.NewReader(ftraceFixture(t, true)), &converted); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(converted.String(), `{"kind":"proc",`) {
+		t.Fatalf("no proc line in converted output:\n%s", converted.String())
+	}
+	tr, err := ReadTrace(bytes.NewReader(converted.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Procs) != 1 || tr.Procs[0] != fixtureProc {
+		t.Fatalf("proc sample did not survive conversion: %+v", tr.Procs)
+	}
+}
+
+// TestReadFTraceTornTail pins crash resilience: truncating mid-segment
+// yields the records of every complete segment plus an error.
+func TestReadFTraceTornTail(t *testing.T) {
+	full := ftraceFixture(t, false)
+	for _, cut := range []int{len(full) - 1, len(full) - 7, 15} {
+		tr, err := ReadFTrace(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("cut at %d: truncation not reported", cut)
+		}
+		if tr == nil {
+			t.Fatalf("cut at %d: no partial trace returned", cut)
+		}
+	}
+	// Too short for even the file header.
+	if _, err := ReadFTrace(bytes.NewReader(full[:4])); err == nil {
+		t.Fatal("header truncation not reported")
+	}
+	// Not an ftrace stream at all.
+	if _, err := ReadFTrace(strings.NewReader(`{"kind":"span"}`)); err == nil {
+		t.Fatal("JSONL input accepted as ftrace")
+	}
+}
+
+func TestReadFTraceCRCMismatch(t *testing.T) {
+	full := ftraceFixture(t, false)
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-3] ^= 0xFF // flip a payload byte after the CRC was set
+	if _, err := ReadFTrace(bytes.NewReader(corrupt)); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("corruption not caught by CRC: %v", err)
+	}
+	var w bytes.Buffer
+	if err := ConvertFTrace(bytes.NewReader(corrupt), &w); err == nil {
+		t.Fatal("ConvertFTrace accepted a corrupt segment")
+	}
+}
+
+// TestReadFTraceMultiSegment pins that segment boundaries are invisible to
+// the reader: a stream flushed every record decodes identically to one
+// flushed once.
+func TestReadFTraceMultiSegment(t *testing.T) {
+	var buf bytes.Buffer
+	r := obs.NewTraceRing(64, 512)
+	r.SetSink(&buf)
+	r.SetMeta([]string{"fa", "fb"}, "manual", 72)
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range fixtureDecisions() {
+		d := d
+		r.EmitDecision(&d)
+		if err := r.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr, err := ReadFTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Records, fixtureDecisions()) {
+		t.Fatalf("per-record segments decoded differently:\n%+v", tr.Records)
+	}
+}
+
+// TestReadTraceFileSniffsFTrace pins the explain front door: ReadTraceFile
+// dispatches on the leading magic, so .ftrace and JSONL files are equally
+// valid inputs to every query.
+func TestReadTraceFileSniffsFTrace(t *testing.T) {
+	dir := t.TempDir()
+	bin := dir + "/flight.ftrace"
+	if err := writeFile(bin, ftraceFixture(t, false)); err != nil {
+		t.Fatal(err)
+	}
+	trBin, err := ReadTraceFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonl bytes.Buffer
+	if err := ConvertFTrace(bytes.NewReader(ftraceFixture(t, false)), &jsonl); err != nil {
+		t.Fatal(err)
+	}
+	txt := dir + "/flight.jsonl"
+	if err := writeFile(txt, jsonl.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	trTxt, err := ReadTraceFile(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trBin.Records, trTxt.Records) || !reflect.DeepEqual(trBin.Spans, trTxt.Spans) {
+		t.Fatal("sniffed binary and JSONL reads disagree")
+	}
+	if !reflect.DeepEqual(trBin.FeatureNames(), []string{"fa", "fb"}) {
+		t.Fatalf("feature names %v", trBin.FeatureNames())
+	}
+}
+
+// TestFTraceQueriesWork runs the analysis layer over a binary-sourced trace:
+// the tentpole's point is that the cheap format answers the same questions.
+func TestFTraceQueriesWork(t *testing.T) {
+	tr, err := ReadFTrace(bytes.NewReader(ftraceFixture(t, false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl := tr.JobTimeline(7); len(tl) != 1 || !tl[0].Rejected {
+		t.Fatalf("timeline %+v", tl)
+	}
+	stats, acc, rej := tr.FeatureStats()
+	if len(stats) != 2 || acc != 1 || rej != 1 {
+		t.Fatalf("feature stats %d/%d over %d features", acc, rej, len(stats))
+	}
+	if top := tr.TopRejected(5); len(top) == 0 {
+		t.Fatal("no top-rejected rows")
+	}
+}

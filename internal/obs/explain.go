@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"sync"
@@ -90,6 +91,11 @@ type ExplainRecorder struct {
 	mode          string
 	maxRejections int
 	headerOut     bool
+
+	// Reused JSONL encode state (see SpanTracer); guarded by mu.
+	encBuf bytes.Buffer
+	enc    *json.Encoder
+	encRec jsonExplain
 }
 
 // NewExplainRecorder returns a recorder holding at most capacity records
@@ -181,10 +187,15 @@ func (r *ExplainRecorder) Record(rec ExplainRecord) {
 		}
 	}
 	if r.sink != nil && r.sinkErr == nil {
-		b, err := json.Marshal(jsonExplain{Kind: "decision", ExplainRecord: rec})
+		if r.enc == nil {
+			r.enc = json.NewEncoder(&r.encBuf)
+			r.encRec.Kind = "decision"
+		}
+		r.encBuf.Reset()
+		r.encRec.ExplainRecord = rec
+		err := r.enc.Encode(&r.encRec)
 		if err == nil {
-			b = append(b, '\n')
-			_, err = r.sink.Write(b)
+			_, err = r.sink.Write(r.encBuf.Bytes())
 		}
 		if err != nil {
 			r.sinkErr = err
@@ -246,32 +257,107 @@ func (r *ExplainRecorder) SinkErr() error {
 	return r.sinkErr
 }
 
-// FlightRecorder bundles the two halves of the decision flight recorder —
-// the span tracer and the explain recorder — behind one attach point
-// (TrainConfig.Flight, EvalConfig.Flight). A nil *FlightRecorder disables
-// both; its accessors are nil-safe so call sites thread r.SpanTracer() and
-// r.Explains() without guards.
+// FlightRecorder bundles the halves of the decision flight recorder behind
+// one attach point (TrainConfig.Flight, EvalConfig.Flight): the legacy
+// JSONL pair (span tracer + explain recorder) and/or the binary TraceRing.
+// Emit sites go through EmitSpan/RecordDecision, which fan out to whichever
+// halves are present — setting both is the golden-test configuration that
+// produces a JSONL file and a .ftrace file from one run. A nil
+// *FlightRecorder disables everything; accessors are nil-safe so call
+// sites thread r.SpanTracer(), r.Explains() and r.TraceRing() without
+// guards.
 type FlightRecorder struct {
 	Spans     *SpanTracer
 	Decisions *ExplainRecorder
+	Ring      *TraceRing
 }
 
-// NewFlightRecorder builds a recorder with the given ring capacities
+// NewFlightRecorder builds a JSONL recorder with the given ring capacities
 // (<= 0 selects the package defaults).
 func NewFlightRecorder(spanCap, decisionCap int) *FlightRecorder {
 	return &FlightRecorder{Spans: NewSpanTracer(spanCap), Decisions: NewExplainRecorder(decisionCap)}
 }
 
-// SetSink streams both spans and explain records to w as interleaved JSON
-// lines (distinguished by their "kind" field), serialized through one lock
-// so lines never interleave mid-record.
+// NewBinaryFlightRecorder builds a recorder backed by a binary TraceRing of
+// the given geometry (<= 0 selects the package defaults) — the
+// production-cheap always-on configuration.
+func NewBinaryFlightRecorder(slots, slotSize int) *FlightRecorder {
+	return &FlightRecorder{Ring: NewTraceRing(slots, slotSize)}
+}
+
+// SetSink attaches the trace sink. With a binary ring present, w receives
+// the .ftrace stream; otherwise both JSONL halves stream to w as
+// interleaved JSON lines (distinguished by their "kind" field), serialized
+// through one lock so lines never interleave mid-record.
 func (f *FlightRecorder) SetSink(w io.Writer) {
 	if f == nil {
+		return
+	}
+	if f.Ring != nil {
+		f.Ring.SetSink(w)
 		return
 	}
 	lw := &lockedWriter{w: w}
 	f.Spans.SetSink(lw)
 	f.Decisions.SetSink(lw)
+}
+
+// SetMeta declares the feature names, feature-mode name and rejection cap
+// of subsequent decision records on every present half.
+func (f *FlightRecorder) SetMeta(names []string, mode string, maxRejections int) {
+	if f == nil {
+		return
+	}
+	f.Decisions.SetMeta(names, mode, maxRejections)
+	f.Ring.SetMeta(names, mode, maxRejections)
+}
+
+// EmitSpan records one completed span on every present half. The legacy
+// span tracer takes ownership of s.Attrs; the ring copies immediately.
+func (f *FlightRecorder) EmitSpan(s Span) {
+	if f == nil {
+		return
+	}
+	f.Ring.EmitSpan(&s)
+	f.Spans.Emit(s)
+}
+
+// RecordDecision records one explain record on every present half. The
+// caller keeps ownership of rec and its slices: the ring copies into its
+// arena, and the legacy recorder receives a deep copy of the slices — so
+// hot paths may pass borrowed scratch storage.
+func (f *FlightRecorder) RecordDecision(rec *ExplainRecord) {
+	if f == nil {
+		return
+	}
+	f.Ring.EmitDecision(rec)
+	if f.Decisions != nil {
+		cp := *rec
+		cp.Features = append([]float64(nil), rec.Features...)
+		cp.Logits = append([]float64(nil), rec.Logits...)
+		cp.Probs = append([]float64(nil), rec.Probs...)
+		f.Decisions.Record(cp)
+	}
+}
+
+// TraceRing returns the binary half, nil when absent.
+func (f *FlightRecorder) TraceRing() *TraceRing {
+	if f == nil {
+		return nil
+	}
+	return f.Ring
+}
+
+// Flush drains any buffered binary segment to the sink and returns the
+// first sink error from any half. Call it before closing the sink file.
+func (f *FlightRecorder) Flush() error {
+	if f == nil {
+		return nil
+	}
+	if err := f.Ring.Flush(); err != nil {
+		return err
+	}
+	return f.SinkErr()
 }
 
 // SpanTracer returns the span half, nil when f is nil.
@@ -290,7 +376,7 @@ func (f *FlightRecorder) Explains() *ExplainRecorder {
 	return f.Decisions
 }
 
-// SinkErr returns the first sink error from either half.
+// SinkErr returns the first sink error from any half.
 func (f *FlightRecorder) SinkErr() error {
 	if f == nil {
 		return nil
@@ -298,5 +384,8 @@ func (f *FlightRecorder) SinkErr() error {
 	if err := f.Spans.SinkErr(); err != nil {
 		return err
 	}
-	return f.Decisions.SinkErr()
+	if err := f.Decisions.SinkErr(); err != nil {
+		return err
+	}
+	return f.Ring.SinkErr()
 }

@@ -39,6 +39,8 @@ type ProcSampler struct {
 	heapSys    *Gauge
 	numGC      *Gauge
 
+	trace *TraceRing
+
 	stop chan struct{}
 	done chan struct{}
 }
@@ -58,6 +60,15 @@ func NewProcSampler(capacity int, reg *Registry) *ProcSampler {
 		p.numGC = reg.Gauge("schedinspector_gc_cycles_total", "Completed GC cycles (gauge mirror of runtime.NumGC).", nil)
 	}
 	return p
+}
+
+// TraceTo mirrors every subsequent sample into the binary trace ring as a
+// proc record, so explain windows can correlate decisions with GC and heap
+// pressure from the same .ftrace stream. A nil ring detaches.
+func (p *ProcSampler) TraceTo(r *TraceRing) {
+	p.mu.Lock()
+	p.trace = r
+	p.mu.Unlock()
 }
 
 // Sample takes one snapshot now, stores it in the ring, updates the gauges,
@@ -84,7 +95,9 @@ func (p *ProcSampler) Sample() ProcStats {
 			p.start = 0
 		}
 	}
+	trace := p.trace
 	p.mu.Unlock()
+	trace.EmitProc(s)
 	if p.goroutines != nil {
 		p.goroutines.Set(float64(s.Goroutines))
 		p.heapAlloc.Set(float64(s.HeapAlloc))

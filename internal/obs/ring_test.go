@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// decodeImage parses a complete .ftrace byte image (file header plus any
+// number of CRC-framed segments) into (kind, body) record pairs. It is the
+// test-side mirror of the encoder; the full offline reader lives in
+// internal/explain, which cannot be imported from an in-package obs test.
+func decodeImage(t *testing.T, img []byte) (kinds []byte, bodies [][]byte) {
+	t.Helper()
+	if _, err := ParseFTraceFileHeader(img); err != nil {
+		t.Fatalf("file header: %v", err)
+	}
+	o := ftraceHeaderLen
+	for o < len(img) {
+		if o+ftraceSegHdrLen > len(img) {
+			t.Fatalf("truncated segment header at %d", o)
+		}
+		length := int(binary.LittleEndian.Uint32(img[o:]))
+		crc := binary.LittleEndian.Uint32(img[o+4:])
+		o += ftraceSegHdrLen
+		if o+length > len(img) {
+			t.Fatalf("segment overruns image at %d", o)
+		}
+		payload := img[o : o+length]
+		if got := FTraceSegmentCRC(payload); got != crc {
+			t.Fatalf("segment CRC mismatch: got %08x want %08x", got, crc)
+		}
+		o += length
+		p := 0
+		for p < len(payload) {
+			kind := payload[p]
+			n := int(binary.LittleEndian.Uint32(payload[p+1:]))
+			p += ftraceRecHdrLen
+			kinds = append(kinds, kind)
+			bodies = append(bodies, payload[p:p+n])
+			p += n
+		}
+	}
+	return kinds, bodies
+}
+
+func testDecision(seq int) ExplainRecord {
+	return ExplainRecord{
+		Epoch: 1, Traj: 2, Seq: seq, Time: 100.5, JobID: 40 + seq,
+		Wait: 12.25, Procs: 4, Est: 600, Rejections: 1, MaxRejections: 72,
+		QueueLen: 3, FreeProcs: 16, TotalProcs: 64, Utilization: 0.75,
+		Action: 1, Sampled: true, Rejected: seq%2 == 0,
+		Features: []float64{0.1, 0.2, 0.3},
+		Logits:   []float64{0.5, -0.5},
+		Probs:    []float64{0.73, 0.27},
+	}
+}
+
+func TestTraceRingRoundTrip(t *testing.T) {
+	r := NewTraceRing(16, 512)
+	r.SetMeta([]string{"wait", "procs"}, "manual", 72)
+	sp := Span{ID: 9, Parent: 2, Name: "decision", WallStart: 100, WallEnd: 150,
+		SimStart: 10.5, SimEnd: 11, Attrs: []Attr{{Key: "job", Num: 7}, {Key: "verdict", Str: "reject"}}}
+	r.EmitSpan(&sp)
+	dec := testDecision(3)
+	r.EmitDecision(&dec)
+	ps := ProcStats{Wall: 1234, Goroutines: 8, HeapAlloc: 1 << 20, HeapSys: 1 << 22, NumGC: 3, PauseTotal: 5000}
+	r.EmitProc(ps)
+
+	kinds, bodies := decodeImage(t, r.Snapshot())
+	if want := []byte{FTraceKindHeader, FTraceKindSpan, FTraceKindDecision, FTraceKindProc}; !bytes.Equal(kinds, want) {
+		t.Fatalf("record kinds %v, want %v", kinds, want)
+	}
+	h, err := DecodeFTraceHeader(bodies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Mode != "manual" || h.MaxRejections != 72 || !reflect.DeepEqual(h.Features, []string{"wait", "procs"}) {
+		t.Fatalf("header mangled: %+v", h)
+	}
+	gotSpan, err := DecodeFTraceSpan(bodies[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotSpan, sp) {
+		t.Fatalf("span round-trip:\n got %+v\nwant %+v", gotSpan, sp)
+	}
+	gotDec, err := DecodeFTraceDecision(bodies[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotDec, dec) {
+		t.Fatalf("decision round-trip:\n got %+v\nwant %+v", gotDec, dec)
+	}
+	gotProc, err := DecodeFTraceProc(bodies[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotProc != ps {
+		t.Fatalf("proc round-trip: got %+v want %+v", gotProc, ps)
+	}
+}
+
+// TestTraceRingWraparound pins the eviction order: a full ring drops the
+// oldest record per insert, the snapshot reads out oldest-first, and the
+// lifetime counters account for every emit.
+func TestTraceRingWraparound(t *testing.T) {
+	r := NewTraceRing(3, 512)
+	for seq := 1; seq <= 5; seq++ {
+		dec := testDecision(seq)
+		r.EmitDecision(&dec)
+	}
+	if r.Len() != 3 || r.Cap() != 3 {
+		t.Fatalf("Len/Cap = %d/%d, want 3/3", r.Len(), r.Cap())
+	}
+	if r.Total() != 5 || r.Dropped() != 2 {
+		t.Fatalf("Total/Dropped = %d/%d, want 5/2", r.Total(), r.Dropped())
+	}
+	_, bodies := decodeImage(t, r.Snapshot())
+	if len(bodies) != 3 {
+		t.Fatalf("snapshot holds %d records, want 3", len(bodies))
+	}
+	for i, want := range []int{3, 4, 5} {
+		dec, err := DecodeFTraceDecision(bodies[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (oldest-first after wraparound)", i, dec.Seq, want)
+		}
+	}
+}
+
+// TestTraceRingOversize pins that a record too large for a slot is counted
+// and skipped without disturbing the ring contents.
+func TestTraceRingOversize(t *testing.T) {
+	r := NewTraceRing(4, 256)
+	small := testDecision(1)
+	small.Features, small.Logits, small.Probs = nil, nil, nil
+	r.EmitDecision(&small)
+	big := testDecision(2)
+	big.Features = make([]float64, 64) // >512-byte body in a 256-byte slot
+	r.EmitDecision(&big)
+	if r.Oversized() != 1 {
+		t.Fatalf("Oversized = %d, want 1", r.Oversized())
+	}
+	if r.Len() != 1 || r.Total() != 1 {
+		t.Fatalf("oversize record disturbed the ring: Len=%d Total=%d", r.Len(), r.Total())
+	}
+}
+
+// failAfterWriter accepts the first ok writes, then fails every later one.
+type failAfterWriter struct {
+	ok     int
+	writes int
+	buf    bytes.Buffer
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.ok {
+		return 0, errors.New("disk full")
+	}
+	return w.buf.Write(p)
+}
+
+// TestTraceRingSinkErrorMidTrace is the write-failure regression test: the
+// sink dies after the file header, the first flush error sticks, the error
+// counter fires once, and records keep landing in the ring regardless.
+func TestTraceRingSinkErrorMidTrace(t *testing.T) {
+	reg := NewRegistry()
+	r := NewTraceRing(64, 512)
+	r.Instrument(reg)
+	w := &failAfterWriter{ok: 1} // header write succeeds, segment flushes fail
+	r.SetSink(w)
+	if r.SinkErr() != nil {
+		t.Fatalf("header write should have succeeded: %v", r.SinkErr())
+	}
+	for seq := 0; seq < 8; seq++ {
+		dec := testDecision(seq)
+		r.EmitDecision(&dec)
+	}
+	if err := r.Flush(); err == nil {
+		t.Fatal("flush against a dead sink returned nil")
+	}
+	if r.SinkErr() == nil {
+		t.Fatal("sink error did not stick")
+	}
+	for seq := 8; seq < 12; seq++ {
+		dec := testDecision(seq)
+		r.EmitDecision(&dec) // must not panic or write
+	}
+	if err := r.Flush(); err == nil {
+		t.Fatal("sticky error cleared by a later flush")
+	}
+	if w.writes != 2 {
+		t.Fatalf("sink written %d times after error, want 2 (header + failed flush)", w.writes)
+	}
+	if r.Len() != 12 {
+		t.Fatalf("ring stopped recording after sink error: Len=%d, want 12", r.Len())
+	}
+	var prom bytes.Buffer
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "schedinspector_ftrace_sink_errors_total 1") {
+		t.Fatalf("sink error counter missing from exposition:\n%s", prom.String())
+	}
+	if !strings.Contains(prom.String(), "schedinspector_ftrace_ring_records 12") {
+		t.Fatalf("occupancy gauge missing from exposition:\n%s", prom.String())
+	}
+}
+
+// TestTraceRingHeaderPerSink pins the meta header discipline: one header
+// record per sink generation, re-emitted when a fresh sink is attached so
+// every .ftrace file is self-describing.
+func TestTraceRingHeaderPerSink(t *testing.T) {
+	r := NewTraceRing(16, 512)
+	r.SetMeta([]string{"a"}, "manual", 72)
+	r.SetMeta([]string{"a"}, "manual", 72) // idempotent: no second header
+
+	var first bytes.Buffer
+	r.SetSink(&first)
+	dec := testDecision(0)
+	r.EmitDecision(&dec)
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	kinds, _ := decodeImage(t, first.Bytes())
+	if want := []byte{FTraceKindHeader, FTraceKindDecision}; !bytes.Equal(kinds, want) {
+		t.Fatalf("first sink kinds %v, want %v", kinds, want)
+	}
+
+	var second bytes.Buffer
+	r.SetSink(&second)
+	r.EmitDecision(&dec)
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	kinds, _ = decodeImage(t, second.Bytes())
+	if want := []byte{FTraceKindHeader, FTraceKindDecision}; !bytes.Equal(kinds, want) {
+		t.Fatalf("second sink kinds %v, want %v (header must re-emit per sink)", kinds, want)
+	}
+
+	// The ring itself carries every header generation: the sink-less SetMeta
+	// (so Snapshot is self-describing before any sink) plus one per SetSink.
+	kinds, _ = decodeImage(t, r.Snapshot())
+	headers := 0
+	for _, k := range kinds {
+		if k == FTraceKindHeader {
+			headers++
+		}
+	}
+	if headers != 3 {
+		t.Fatalf("ring holds %d header records, want 3 (SetMeta + one per sink generation)", headers)
+	}
+}
+
+func TestTraceRingEmptySnapshot(t *testing.T) {
+	r := NewTraceRing(4, 64)
+	snap := r.Snapshot()
+	if _, err := ParseFTraceFileHeader(snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != ftraceHeaderLen {
+		t.Fatalf("empty snapshot is %d bytes, want bare %d-byte file header", len(snap), ftraceHeaderLen)
+	}
+}
+
+func TestNilTraceRingSafe(t *testing.T) {
+	var r *TraceRing
+	r.EmitSpan(&Span{ID: 1})
+	r.EmitDecision(&ExplainRecord{})
+	r.EmitProc(ProcStats{})
+	r.SetMeta([]string{"a"}, "m", 1)
+	r.SetSink(&bytes.Buffer{})
+	r.Instrument(NewRegistry())
+	if r.Len() != 0 || r.Cap() != 0 || r.Total() != 0 || r.Dropped() != 0 ||
+		r.Oversized() != 0 || r.Flush() != nil || r.SinkErr() != nil || r.FeatureNames() != nil {
+		t.Fatal("nil ring leaked state")
+	}
+	if _, err := ParseFTraceFileHeader(r.Snapshot()); err != nil {
+		t.Fatalf("nil ring snapshot not a valid empty image: %v", err)
+	}
+}
+
+// TestTraceRingBorrowedSlices pins the no-ownership contract: the ring
+// copies slice contents into its arena at emit time, so the caller may
+// mutate and reuse the backing arrays immediately.
+func TestTraceRingBorrowedSlices(t *testing.T) {
+	r := NewTraceRing(8, 512)
+	feats := []float64{1, 2}
+	dec := testDecision(0)
+	dec.Features, dec.Logits, dec.Probs = feats, nil, nil
+	r.EmitDecision(&dec)
+	feats[0], feats[1] = -9, -9 // scratch reuse after emit
+	_, bodies := decodeImage(t, r.Snapshot())
+	got, err := DecodeFTraceDecision(bodies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Features[0] != 1 || got.Features[1] != 2 {
+		t.Fatalf("arena aliased the caller's scratch: %v", got.Features)
+	}
+}
+
+// TestEmitShapedSpanMatchesGeneric is the shaped-emit contract: a span sent
+// through a precompiled SpanShape produces byte-for-byte the record the
+// generic EmitSpan encoder writes for the equivalent Span — the template IS
+// the generic encoding with the scalars patched in.
+func TestEmitShapedSpanMatchesGeneric(t *testing.T) {
+	shape := NewSpanShape("decision", "action", 6, []string{"job", "procs", "rejections", "free", "queue"})
+	sp := Span{
+		ID: 77, Parent: 13, Name: "decision", WallStart: 1111, WallEnd: 2222,
+		SimStart: 10.5, SimEnd: 12.5,
+		Attrs: []Attr{
+			{Key: "action", Str: "reject"},
+			{Key: "job", Num: 42}, {Key: "procs", Num: 8}, {Key: "rejections", Num: 1},
+			{Key: "free", Num: 56}, {Key: "queue", Num: 3},
+		},
+	}
+	generic := NewTraceRing(4, 512)
+	generic.EmitSpan(&sp)
+	shaped := NewTraceRing(4, 512)
+	shaped.EmitShapedSpan(shape, sp.ID, sp.Parent, sp.WallStart, sp.WallEnd,
+		sp.SimStart, sp.SimEnd, "reject", []float64{42, 8, 1, 56, 3})
+	if !bytes.Equal(generic.Snapshot(), shaped.Snapshot()) {
+		t.Fatal("shaped span record differs from the generic encoding")
+	}
+	_, bodies := decodeImage(t, shaped.Snapshot())
+	got, err := DecodeFTraceSpan(bodies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sp) {
+		t.Fatalf("shaped span round-trip:\n got %+v\nwant %+v", got, sp)
+	}
+}
+
+func TestEmitShapedSpanContractPanics(t *testing.T) {
+	shape := NewSpanShape("decision", "action", 6, []string{"job"})
+	r := NewTraceRing(4, 512)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width-mismatched string value did not panic")
+		}
+	}()
+	r.EmitShapedSpan(shape, 1, 2, 0, 0, 0, 0, "too long for six", []float64{1})
+}
+
+// TestTraceRingConcurrent hammers the emit paths and cold readers from many
+// goroutines; under -race this pins the single-mutex discipline.
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(32, 512)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				dec := testDecision(i)
+				dec.Traj = g
+				r.EmitDecision(&dec)
+				if i%17 == 0 {
+					_ = r.Snapshot()
+					_ = r.Len()
+					_ = r.Dropped()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 1600 {
+		t.Fatalf("Total = %d, want 1600", r.Total())
+	}
+	if r.Len() != 32 {
+		t.Fatalf("ring holds %d, want 32", r.Len())
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"sync"
@@ -110,6 +111,13 @@ type SpanTracer struct {
 	total   uint64
 	sink    io.Writer
 	sinkErr error
+
+	// Reused JSONL encode state: one buffer, encoder and wire wrapper per
+	// tracer, so the sink path stops allocating a marshal buffer and an
+	// interface box per span. Guarded by mu like the sink itself.
+	encBuf  bytes.Buffer
+	enc     *json.Encoder
+	encSpan jsonSpan
 }
 
 // NewSpanTracer returns a tracer holding at most capacity completed spans
@@ -152,10 +160,15 @@ func (t *SpanTracer) Emit(s Span) {
 		}
 	}
 	if t.sink != nil && t.sinkErr == nil {
-		b, err := json.Marshal(jsonSpan{Kind: "span", Span: s})
+		if t.enc == nil {
+			t.enc = json.NewEncoder(&t.encBuf)
+			t.encSpan.Kind = "span"
+		}
+		t.encBuf.Reset()
+		t.encSpan.Span = s
+		err := t.enc.Encode(&t.encSpan)
 		if err == nil {
-			b = append(b, '\n')
-			_, err = t.sink.Write(b)
+			_, err = t.sink.Write(t.encBuf.Bytes())
 		}
 		if err != nil {
 			t.sinkErr = err

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -93,6 +94,11 @@ type Tracer struct {
 	total   uint64
 	sink    io.Writer
 	sinkErr error
+
+	// Reused JSONL encode state (see SpanTracer); guarded by mu.
+	encBuf   bytes.Buffer
+	enc      *json.Encoder
+	encEvent jsonEvent
 }
 
 // NewTracer returns a tracer holding at most capacity events
@@ -134,10 +140,17 @@ func (t *Tracer) Emit(e Event) {
 		}
 	}
 	if t.sink != nil && t.sinkErr == nil {
-		b, err := json.Marshal(e)
+		if t.enc == nil {
+			t.enc = json.NewEncoder(&t.encBuf)
+		}
+		t.encBuf.Reset()
+		t.encEvent = jsonEvent{
+			Kind: e.Kind.String(), Time: e.Time, JobID: e.JobID, Procs: e.Procs,
+			Wait: e.Wait, FreeProcs: e.FreeProcs, QueueLen: e.QueueLen, Rejections: e.Rejections,
+		}
+		err := t.enc.Encode(&t.encEvent)
 		if err == nil {
-			b = append(b, '\n')
-			_, err = t.sink.Write(b)
+			_, err = t.sink.Write(t.encBuf.Bytes())
 		}
 		if err != nil {
 			t.sinkErr = err

@@ -79,6 +79,21 @@ type Config struct {
 	// order remain execution-dependent; only identity is deterministic.
 	Spans    *obs.SpanTracer
 	SpanRoot obs.SpanID
+
+	// Ring attaches the binary flight recorder alongside (or instead of)
+	// Spans: episode and decision spans are encoded into the arena-backed
+	// trace ring under the same ID derivation, so the deterministic-identity
+	// guarantee carries over unchanged.
+	Ring *obs.TraceRing
+}
+
+// tracing reports whether any span sink is attached.
+func (c *Config) tracing() bool { return c.Spans != nil || c.Ring != nil }
+
+// emitSpan fans one completed span out to every attached sink.
+func (c *Config) emitSpan(s obs.Span) {
+	c.Ring.EmitSpan(&s)
+	c.Spans.Emit(s)
 }
 
 // Report carries the run's timing observations for telemetry: summed
@@ -107,12 +122,13 @@ func Run(eps []Episode, cfg Config) ([]sim.Result, Report, error) {
 			return nil, rep, fmt.Errorf("rollout: episode %d is interactive but Config.Decide is nil", i)
 		}
 	}
-	if cfg.Spans != nil {
+	if cfg.tracing() {
 		// Copy the episode slice before attaching span plumbing so the
 		// caller's Episodes are never mutated.
 		eps = append([]Episode(nil), eps...)
 		for i := range eps {
 			eps[i].Cfg.Spans = cfg.Spans
+			eps[i].Cfg.Ring = cfg.Ring
 			eps[i].Cfg.SpanParent = obs.DeriveSpanID(uint64(cfg.SpanRoot), uint64(i))
 		}
 	}
@@ -143,10 +159,10 @@ func ownResult(r sim.Result) sim.Result {
 	return r
 }
 
-// endEpisodeSpan closes and emits the span bracketing one finished episode.
-// Wall duration covers the episode's execution; sim duration its simulated
-// makespan.
-func endEpisodeSpan(tr *obs.SpanTracer, esp obs.Span, slot, jobs int, simEnd float64, res *sim.Result) {
+// endEpisodeSpan closes the span bracketing one finished episode and emits
+// it to every attached sink. Wall duration covers the episode's execution;
+// sim duration its simulated makespan.
+func endEpisodeSpan(cfg *Config, esp obs.Span, slot, jobs int, simEnd float64, res *sim.Result) {
 	esp.Attrs = append(esp.Attrs,
 		obs.Attr{Key: "slot", Num: float64(slot)},
 		obs.Attr{Key: "jobs", Num: float64(jobs)},
@@ -154,7 +170,7 @@ func endEpisodeSpan(tr *obs.SpanTracer, esp obs.Span, slot, jobs int, simEnd flo
 		obs.Attr{Key: "rejections", Num: float64(res.Rejections)},
 	)
 	esp.End(simEnd)
-	tr.Emit(esp)
+	cfg.emitSpan(esp)
 }
 
 // runSequential executes episodes one at a time in slot order on a single
@@ -167,7 +183,7 @@ func runSequential(eps []Episode, cfg Config, results []sim.Result, errs []error
 	for i := range eps {
 		t0 := time.Now()
 		var esp obs.Span
-		if cfg.Spans != nil {
+		if cfg.tracing() {
 			esp = obs.StartSpan("episode", eps[i].Cfg.SpanParent, cfg.SpanRoot, 0)
 		}
 		if !eps[i].Interactive {
@@ -186,8 +202,8 @@ func runSequential(eps []Episode, cfg Config, results []sim.Result, errs []error
 			}
 			results[i] = ownResult(env.Result())
 		}
-		if cfg.Spans != nil && errs[i] == nil {
-			endEpisodeSpan(cfg.Spans, esp, i, len(eps[i].Jobs), env.Now(), &results[i])
+		if cfg.tracing() && errs[i] == nil {
+			endEpisodeSpan(&cfg, esp, i, len(eps[i].Jobs), env.Now(), &results[i])
 		}
 		rep.EpisodeSeconds[i] = time.Since(t0).Seconds()
 	}
@@ -206,7 +222,7 @@ func runWaves(eps []Episode, cfg Config, workers int, results []sim.Result, errs
 	done := make([]bool, n)
 	seqEnvs := make([]*sim.Env, workers) // per-worker envs for non-interactive runs
 	var espans []obs.Span                // open episode spans, indexed by slot
-	if cfg.Spans != nil {
+	if cfg.tracing() {
 		espans = make([]obs.Span, n)
 	}
 
@@ -228,7 +244,7 @@ func runWaves(eps []Episode, cfg Config, workers int, results []sim.Result, errs
 			}
 			results[i], errs[i] = r, err
 			if espans != nil && err == nil {
-				endEpisodeSpan(cfg.Spans, espans[i], i, len(eps[i].Jobs), seqEnvs[w].Now(), &results[i])
+				endEpisodeSpan(&cfg, espans[i], i, len(eps[i].Jobs), seqEnvs[w].Now(), &results[i])
 			}
 		}
 		rep.EpisodeSeconds[i] += time.Since(t0).Seconds()
@@ -244,7 +260,7 @@ func runWaves(eps []Episode, cfg Config, workers int, results []sim.Result, errs
 		if done[i] {
 			results[i] = envs[i].Result()
 			if espans != nil {
-				endEpisodeSpan(cfg.Spans, espans[i], i, len(eps[i].Jobs), envs[i].Now(), &results[i])
+				endEpisodeSpan(&cfg, espans[i], i, len(eps[i].Jobs), envs[i].Now(), &results[i])
 			}
 			continue
 		}
@@ -275,7 +291,7 @@ func runWaves(eps []Episode, cfg Config, workers int, results []sim.Result, errs
 			if done[i] {
 				results[i] = envs[i].Result()
 				if espans != nil {
-					endEpisodeSpan(cfg.Spans, espans[i], i, len(eps[i].Jobs), envs[i].Now(), &results[i])
+					endEpisodeSpan(&cfg, espans[i], i, len(eps[i].Jobs), envs[i].Now(), &results[i])
 				}
 			} else {
 				keep = append(keep, i)

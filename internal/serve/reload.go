@@ -22,8 +22,9 @@ func (h *Handler) Swap(insp *core.Inspector) {
 	h.insp = insp
 	h.mu.Unlock()
 	// The replacement may observe through a different feature mode; keep
-	// the explain ring's header in step with the served model.
+	// the explain and trace rings' headers in step with the served model.
 	h.explains.SetMeta(insp.Mode.FeatureNames(), insp.Mode.String(), insp.Norm.MaxRejections)
+	h.ring.SetMeta(insp.Mode.FeatureNames(), insp.Mode.String(), insp.Norm.MaxRejections)
 	h.params.Set(float64(insp.Agent.Policy.NumParams()))
 	h.reloads.Inc()
 	h.generation.Add(1)

@@ -135,6 +135,13 @@ type Handler struct {
 	// a bounded ring served over GET /v1/explain/last.
 	explains *obs.ExplainRecorder
 	decSeq   atomic.Int64 // lifetime decision sequence for explain records
+
+	// Always-on binary flight recorder (see trace.go): every served
+	// decision is also encoded into the arena-backed trace ring, dumped
+	// over GET /v1/trace/snapshot and optionally streamed to a .ftrace
+	// sink. The ring has its own lock; the serving path never holds h.mu
+	// while emitting.
+	ring *obs.TraceRing
 }
 
 // NewHandler wraps the inspector in an http.Handler with routes
@@ -148,8 +155,11 @@ func NewHandler(insp *core.Inspector) *Handler {
 		reqCounts: make(map[string]*obs.Counter),
 		latency:   make(map[string]*obs.Histogram),
 		explains:  obs.NewExplainRecorder(DefaultServeExplainCap),
+		ring:      obs.NewTraceRing(0, 0),
 	}
+	h.ring.Instrument(h.reg)
 	h.explains.SetMeta(insp.Mode.FeatureNames(), insp.Mode.String(), insp.Norm.MaxRejections)
+	h.ring.SetMeta(insp.Mode.FeatureNames(), insp.Mode.String(), insp.Norm.MaxRejections)
 	h.accepts = h.reg.Counter("schedinspector_inspect_decisions_total",
 		"Inspection verdicts served, by outcome.", obs.Labels{"verdict": "accept"})
 	h.rejects = h.reg.Counter("schedinspector_inspect_decisions_total",
@@ -175,6 +185,7 @@ func NewHandler(insp *core.Inspector) *Handler {
 	h.mux.HandleFunc("/healthz", h.instrument("/healthz", h.info))
 	h.mux.HandleFunc("/v1/admin/reload", h.instrument("/v1/admin/reload", h.reload))
 	h.mux.HandleFunc("/v1/explain/last", h.instrument("/v1/explain/last", h.explainLast))
+	h.mux.HandleFunc("/v1/trace/snapshot", h.instrument("/v1/trace/snapshot", h.traceSnapshot))
 	h.mux.Handle("/metrics", h.reg.Handler())
 	return h
 }
@@ -264,7 +275,7 @@ func (h *Handler) recordDecision(req *InspectRequest, feat, logits, probs []floa
 	if req.TotalProcs > 0 {
 		util = 1 - float64(req.FreeProcs)/float64(req.TotalProcs)
 	}
-	h.explains.Record(obs.ExplainRecord{
+	rec := obs.ExplainRecord{
 		Seq:  int(h.decSeq.Add(1)) - 1,
 		Wait: req.Job.Wait, Procs: req.Job.Procs, Est: req.Job.Est,
 		Rejections: req.Rejections, MaxRejections: maxRej,
@@ -272,7 +283,9 @@ func (h *Handler) recordDecision(req *InspectRequest, feat, logits, probs []floa
 		TotalProcs: req.TotalProcs, Utilization: util,
 		Features: feat, Logits: logits, Probs: probs,
 		Action: action, Sampled: true, Rejected: reject,
-	})
+	}
+	h.ring.EmitDecision(&rec) // copies; the explain ring takes ownership below
+	h.explains.Record(rec)
 
 	h.auditMu.Lock()
 	if h.audit != nil {

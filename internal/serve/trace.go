@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+
+	"schedinspector/internal/explain"
+	"schedinspector/internal/obs"
+)
+
+// GET /v1/trace/snapshot: dump the live binary flight-recorder ring. The
+// default response converts the ring server-side to the flight-recorder
+// JSONL (the format schedinspect explain reads); ?format=ftrace returns the
+// raw binary .ftrace image instead. Snapshot and conversion run off the
+// serving lock — the ring has its own mutex and the copy is taken in one
+// short hold — so a dump never stalls /v1/inspect.
+
+// TraceRing exposes the handler's binary flight-recorder ring so callers
+// (e.g. cmd/inspectord) can attach a .ftrace sink or thread ProcSampler
+// samples into the same trace stream.
+func (h *Handler) TraceRing() *obs.TraceRing { return h.ring }
+
+func (h *Handler) traceSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	snap := h.ring.Snapshot()
+	switch format {
+	case "", "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := explain.ConvertFTrace(bytes.NewReader(snap), w); err != nil {
+			// Headers are out; all we can do is log the conversion failure
+			// into the response trailer position. A snapshot of a live ring
+			// should never fail to convert — it would indicate an encoder /
+			// decoder mismatch.
+			fmt.Fprintf(w, "# snapshot conversion error: %v\n", err)
+		}
+	case "ftrace", "binary":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="trace.ftrace"`)
+		w.Write(snap)
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want jsonl or ftrace)", format), http.StatusBadRequest)
+	}
+}

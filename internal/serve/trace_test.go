@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"schedinspector/internal/explain"
+)
+
+func getTraceSnapshot(t *testing.T, h http.Handler, query string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/v1/trace/snapshot"+query, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestTraceSnapshotEndpoint pins the self-observability surface: every
+// /v1/inspect decision lands in the binary flight-recorder ring, and
+// GET /v1/trace/snapshot dumps that ring — converted server-side to the
+// flight-recorder JSONL by default, or as the raw .ftrace image with
+// ?format=ftrace. Both views must decode to the same records.
+func TestTraceSnapshotEndpoint(t *testing.T) {
+	h := testHandler(t)
+	const decisions = 3
+	for i := 0; i < decisions; i++ {
+		if rec := postInspect(t, h, validRequest()); rec.Code != http.StatusOK {
+			t.Fatalf("inspect %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+
+	rec := getTraceSnapshot(t, h, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("snapshot: status %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("jsonl snapshot Content-Type %q", ct)
+	}
+	jsonl, err := explain.ReadTrace(bytes.NewReader(rec.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("converted snapshot unreadable: %v\n%s", err, rec.Body)
+	}
+	if len(jsonl.Records) != decisions {
+		t.Fatalf("converted snapshot has %d decisions, want %d", len(jsonl.Records), decisions)
+	}
+	if jsonl.Header == nil {
+		t.Fatal("converted snapshot missing the explain header line")
+	}
+
+	raw := getTraceSnapshot(t, h, "?format=ftrace")
+	if raw.Code != http.StatusOK {
+		t.Fatalf("ftrace snapshot: status %d", raw.Code)
+	}
+	if ct := raw.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("ftrace snapshot Content-Type %q", ct)
+	}
+	binary, err := explain.ReadFTrace(bytes.NewReader(raw.Body.Bytes()))
+	if err != nil {
+		t.Fatalf("ftrace snapshot unreadable: %v", err)
+	}
+	if len(binary.Records) != decisions {
+		t.Fatalf("ftrace snapshot has %d decisions, want %d", len(binary.Records), decisions)
+	}
+	for i := range binary.Records {
+		if binary.Records[i].Action != jsonl.Records[i].Action ||
+			binary.Records[i].JobID != jsonl.Records[i].JobID {
+			t.Errorf("record %d diverges between views: %+v vs %+v",
+				i, binary.Records[i], jsonl.Records[i])
+		}
+	}
+
+	if rec := getTraceSnapshot(t, h, "?format=yaml"); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown format: status %d, want 400", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/trace/snapshot", strings.NewReader("{}"))
+	post := httptest.NewRecorder()
+	h.ServeHTTP(post, req)
+	if post.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST snapshot: status %d, want 405", post.Code)
+	}
+
+	// The ring's own health shows up on /metrics.
+	mreq := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, mreq)
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", mrec.Code)
+	}
+	for _, want := range []string{
+		"schedinspector_ftrace_ring_records",
+		"schedinspector_ftrace_ring_evicted_total 0",
+		"schedinspector_ftrace_sink_errors_total 0",
+	} {
+		if !strings.Contains(mrec.Body.String(), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"schedinspector/internal/obs"
+	"schedinspector/internal/sched"
+	"schedinspector/internal/workload"
+)
+
+// TestEnvRingSpansMatchTracer pins the dual-emit contract: with both the
+// JSONL span tracer and the binary ring attached, the Env emits the same
+// decision spans to each — the ring is a second reader, never a fork.
+func TestEnvRingSpansMatchTracer(t *testing.T) {
+	tr := workload.SDSCSP2Like(400, 11)
+	jobs := tr.Window(50, 64)
+	spans := obs.NewSpanTracer(1 << 12)
+	ring := obs.NewTraceRing(1<<12, 512)
+	cfg := Config{
+		MaxProcs: tr.MaxProcs, Policy: sched.SJF(), Backfill: true,
+		NoValidate: true, Spans: spans, Ring: ring, SpanParent: obs.DeriveSpanID(42, 7),
+	}
+	env := NewEnv()
+	st, done, err := env.Reset(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !done {
+		st, done = env.Step(st.Job.ID%5 == 0 && st.Rejections < 3)
+	}
+	if env.Result().Inspections == 0 {
+		t.Fatal("window produced no inspections; widen it")
+	}
+	if got, want := int(ring.Total()), len(spans.Spans()); got != want {
+		t.Fatalf("ring recorded %d spans, tracer %d", got, want)
+	}
+	if ring.Oversized() != 0 {
+		t.Fatalf("%d decision spans overflowed the default slot size", ring.Oversized())
+	}
+}
+
+// TestEnvRingOnlySpans pins the binary-only configuration: with Spans nil
+// and only the ring attached, decision spans still record, built in the
+// Env's scratch attribute buffer.
+func TestEnvRingOnlySpans(t *testing.T) {
+	tr := workload.SDSCSP2Like(400, 11)
+	jobs := tr.Window(50, 64)
+	ring := obs.NewTraceRing(1<<12, 512)
+	cfg := Config{
+		MaxProcs: tr.MaxProcs, Policy: sched.SJF(), Backfill: true,
+		NoValidate: true, Ring: ring, SpanParent: 99,
+	}
+	env := NewEnv()
+	st, done, err := env.Reset(jobs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !done {
+		st, done = env.Step(st.Job.ID%5 == 0 && st.Rejections < 3)
+	}
+	if want := env.Result().Inspections; int(ring.Total()) != want || want == 0 {
+		t.Fatalf("ring recorded %d spans for %d inspections", ring.Total(), want)
+	}
+}
+
+// TestEnvStepAllocsBinaryRing is the tentpole's hot-path pin: an episode
+// with the binary ring attached (no JSONL tracer, no sink) must allocate
+// nothing — spans are built in Env scratch and encoded into the
+// preallocated arena.
+func TestEnvStepAllocsBinaryRing(t *testing.T) {
+	tr := workload.SDSCSP2Like(3000, 13)
+	jobs := tr.Window(100, 256)
+	cfg := Config{
+		MaxProcs: tr.MaxProcs, Policy: sched.SJF(), Backfill: true,
+		NoValidate: true, Ring: obs.NewTraceRing(1<<12, 512),
+		SpanParent: obs.DeriveSpanID(1),
+	}
+	env := NewEnv()
+	episode := func() {
+		obsState, done, err := env.Reset(jobs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !done {
+			obsState, done = env.Step(obsState.Job.ID%7 == 0 && obsState.Rejections < 2)
+		}
+	}
+	episode() // warm up buffers
+	if allocs := testing.AllocsPerRun(5, episode); allocs > 0 {
+		t.Fatalf("binary-ring episode allocated %.1f times, want 0", allocs)
+	}
+}

@@ -110,6 +110,13 @@ type Config struct {
 	Spans      *obs.SpanTracer
 	SpanParent obs.SpanID
 
+	// Ring attaches the binary flight recorder: decision spans are encoded
+	// straight into the arena-backed trace ring with zero per-decision
+	// allocations — the production-cheap always-on variant of Spans. Both
+	// may be set at once (each receives every span); nil (the default)
+	// costs one branch per decision.
+	Ring *obs.TraceRing
+
 	// NoValidate skips the per-run job validation and sortedness check.
 	// Set it when the jobs come from a pre-validated source — e.g. a
 	// workload.Trace that already passed Validate — so hot paths that

@@ -123,6 +123,11 @@ type (
 	// ExplainRecorder buffers ExplainRecords (the flight recorder's
 	// decision half).
 	ExplainRecorder = obs.ExplainRecorder
+	// TraceRing is the arena-backed binary flight recorder: spans, explain
+	// records and runtime samples encoded into fixed-size slots with zero
+	// steady-state allocations, streamed to .ftrace sinks and converted
+	// offline to the JSONL the legacy sinks write.
+	TraceRing = obs.TraceRing
 	// MetricsRegistry renders counters/gauges/histograms in Prometheus
 	// text exposition format (the substrate behind inspectord's /metrics).
 	MetricsRegistry = obs.Registry
@@ -303,6 +308,15 @@ func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 // JSONL with SetSink.
 func NewFlightRecorder(spanCap, decisionCap int) *FlightRecorder {
 	return obs.NewFlightRecorder(spanCap, decisionCap)
+}
+
+// NewBinaryFlightRecorder returns a flight recorder backed by an
+// arena-backed binary TraceRing of the given geometry (<= 0 selects the
+// package defaults) — the production-cheap always-on configuration. Stream
+// .ftrace bytes with SetSink; convert offline with schedinspect explain
+// -convert.
+func NewBinaryFlightRecorder(slots, slotSize int) *FlightRecorder {
+	return obs.NewBinaryFlightRecorder(slots, slotSize)
 }
 
 // DeriveSpanID hashes a chain of stable tags into a SpanID using the same
