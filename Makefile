@@ -14,7 +14,7 @@ FUZZTIME ?= 30s
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags '-X schedinspector/internal/version.Version=$(VERSION)'
 
-.PHONY: all build bin vet fmt-check test test-short race bench bench-env bench-check equiv fuzz-smoke trace-smoke verify
+.PHONY: all build bin vet fmt-check test test-short race bench bench-env bench-check bench-serve bench-serve-check equiv fuzz-smoke trace-smoke verify
 
 all: build
 
@@ -60,10 +60,26 @@ bench-check:
 	$(GO) test -run '^$$' -bench 'EnvInspected|LegacyInspected' -benchmem ./internal/sim/ \
 		| $(GO) run ./cmd/benchjson -check BENCH_env.json -tolerance 0.25
 
+# bench-serve runs the serving-throughput benchmarks (decision-wave path
+# vs the mutex-per-request baseline at 1/64/512 concurrent clients) and
+# archives the parsed results — decisions/s, p99 latency, ns/op — in
+# BENCH_serve.json.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'InspectWave|InspectMutex' -benchmem ./internal/serve/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_serve.json
+
+# bench-serve-check reruns the serving benchmarks against the committed
+# BENCH_serve.json baseline (advisory in CI: serving throughput is noisy on
+# shared runners, so regressions warn rather than gate).
+bench-serve-check:
+	$(GO) test -run '^$$' -bench 'InspectWave|InspectMutex' -benchmem ./internal/serve/ \
+		| $(GO) run ./cmd/benchjson -check BENCH_serve.json -tolerance 0.25
+
 # equiv runs the golden equivalence suites that pin the Env/wave engines to
-# the verbatim seed implementations, bit for bit, under the race detector.
+# the verbatim seed implementations — and the batched serving path to the
+# scalar Explain kernel — bit for bit, under the race detector.
 equiv:
-	$(GO) test -race -run 'Equiv' -count=1 ./internal/sim/ ./internal/core/
+	$(GO) test -race -run 'Equiv' -count=1 ./internal/sim/ ./internal/core/ ./internal/serve/
 
 # trace-smoke exercises the decision flight recorder end to end at smoke
 # scale, on both recording paths: a tiny training run records a JSONL

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"schedinspector/internal/nn"
+	"schedinspector/internal/sim"
+)
+
+// Batch-explain kernel: the serving-path sibling of the rollout driver's
+// waveSampler. Where waveSampler answers decision waves inside the training
+// loop (borrowed scratch, per-slot RNG streams), BatchExplain answers a wave
+// of independent serving requests against one inspector snapshot and exports
+// the full explain payload per row — owned copies, exactly as the scalar
+// Explain contract promises — so the serving collector can batch concurrent
+// /v1/inspect requests into one ForwardBatch call without changing a single
+// recorded bit.
+
+// ExplainOut is one row of a batch-explain call: the chosen action plus the
+// observed feature vector, raw logits and softmax probabilities. All slices
+// are owned by the caller, mirroring Inspector.Explain's return values.
+type ExplainOut struct {
+	Action   int
+	Features []float64
+	Logits   []float64
+	Probs    []float64
+}
+
+// BatchExplainer runs the explain kernel over whole decision waves with one
+// matrix-shaped policy forward per wave. The zero value is ready; reusing
+// one across waves amortizes the feature-matrix and activation allocations.
+// It is not safe for concurrent use — the serving collector is the single
+// goroutine that owns one.
+type BatchExplainer struct {
+	feats  []float64 // wave feature matrix, rows x Mode.Dim()
+	bcache nn.BatchCache
+}
+
+// Explain answers len(states) decisions with one ForwardBatch call, filling
+// out[i] for row i (out must have at least len(states) elements).
+//
+// Bit-identity with the scalar path holds row by row and draw by draw:
+// ForwardBatch reproduces Forward's accumulation order exactly, each row
+// samples through the shared rl.SampleCategorical kernel, and rows consume
+// the inspector's RNG stream in index order — so calling Explain on a wave
+// of N states produces precisely the actions, logits and probabilities of N
+// sequential Inspector.Explain calls on the same stream. Greedy mode takes
+// each row's argmax and consumes no RNG draws, like Inspector.Explain with
+// greedy=true.
+func (b *BatchExplainer) Explain(in *Inspector, states []*sim.State, greedy bool, out []ExplainOut) {
+	dim := in.Mode.Dim()
+	rows := len(states)
+	if cap(b.feats) < rows*dim {
+		b.feats = make([]float64, rows*dim)
+	}
+	b.feats = b.feats[:rows*dim]
+	for i, s := range states {
+		// Full-capacity subslices: Features fills the matrix row in place.
+		in.Norm.Features(b.feats[i*dim:(i+1)*dim:(i+1)*dim], in.Mode, s)
+	}
+	logits := in.Agent.Policy.ForwardBatch(b.feats, rows, &b.bcache)
+	nAct := in.Agent.Policy.OutputSize()
+	for i := 0; i < rows; i++ {
+		lg := logits[i*nAct : (i+1)*nAct]
+		o := &out[i]
+		if greedy {
+			action := 0
+			for a := 1; a < len(lg); a++ {
+				if lg[a] > lg[action] {
+					action = a
+				}
+			}
+			probs := make([]float64, len(lg))
+			nn.Softmax(lg, probs)
+			o.Action, o.Probs = action, probs
+		} else {
+			o.Action, _, o.Probs = in.Agent.SampleExplainLogits(lg)
+		}
+		o.Features = append([]float64(nil), b.feats[i*dim:(i+1)*dim]...)
+		o.Logits = append([]float64(nil), lg...)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/sim"
+	"schedinspector/internal/workload"
+)
+
+// batchTestStates builds n distinct, valid inspector states covering a
+// spread of utilizations, queue depths and rejection counts.
+func batchTestStates(n int, rng *rand.Rand) []*sim.State {
+	states := make([]*sim.State, n)
+	for i := range states {
+		total := 64 + rng.Intn(4)*64
+		free := rng.Intn(total + 1)
+		qlen := rng.Intn(6)
+		queue := make([]sim.QueueItem, qlen)
+		for j := range queue {
+			queue[j] = sim.QueueItem{
+				Wait:  float64(rng.Intn(7200)),
+				Est:   float64(1 + rng.Intn(36000)),
+				Procs: 1 + rng.Intn(total),
+			}
+		}
+		job := workload.Job{
+			ID:    i + 1,
+			Est:   float64(1 + rng.Intn(36000)),
+			Procs: 1 + rng.Intn(total),
+		}
+		states[i] = sim.NewState(job, float64(rng.Intn(7200)), rng.Intn(4),
+			free, total, i%2 == 0, rng.Intn(3), queue)
+	}
+	return states
+}
+
+// TestBatchExplainEquivScalar pins the batch-explain kernel to the scalar
+// Explain path bit for bit: for every wave size, running one wave through
+// BatchExplainer.Explain must produce exactly the actions, features, logits
+// and probabilities of sequential Inspector.Explain calls consuming the
+// same RNG stream in row order — in both sampled and greedy mode.
+func TestBatchExplainEquivScalar(t *testing.T) {
+	tr := workload.SDSCSP2Like(500, 3)
+	norm := NormalizerForTrace(tr, metrics.BSLD)
+	base := NewInspector(rand.New(rand.NewSource(1)), ManualFeatures, norm, nil)
+
+	for _, greedy := range []bool{false, true} {
+		for _, waveSize := range []int{1, 7, 64} {
+			states := batchTestStates(waveSize, rand.New(rand.NewSource(int64(waveSize))))
+
+			scalar := base.Clone(rand.New(rand.NewSource(42)))
+			want := make([]ExplainOut, waveSize)
+			for i, s := range states {
+				var o ExplainOut
+				o.Action, o.Features, o.Logits, o.Probs = scalar.Explain(s, greedy)
+				want[i] = o
+			}
+
+			batched := base.Clone(rand.New(rand.NewSource(42)))
+			got := make([]ExplainOut, waveSize)
+			var be BatchExplainer
+			be.Explain(batched, states, greedy, got)
+
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("greedy=%v wave=%d row %d:\nbatch  %+v\nscalar %+v",
+						greedy, waveSize, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchExplainReuse pins that one BatchExplainer reused across waves of
+// different sizes keeps matching the scalar stream — the serving collector
+// reuses a single kernel for every wave it drains.
+func TestBatchExplainReuse(t *testing.T) {
+	tr := workload.SDSCSP2Like(500, 3)
+	norm := NormalizerForTrace(tr, metrics.BSLD)
+	base := NewInspector(rand.New(rand.NewSource(1)), ManualFeatures, norm, nil)
+
+	states := batchTestStates(37, rand.New(rand.NewSource(9)))
+	scalar := base.Clone(rand.New(rand.NewSource(7)))
+	batched := base.Clone(rand.New(rand.NewSource(7)))
+
+	var be BatchExplainer
+	next := 0
+	for _, size := range []int{5, 1, 16, 2, 13} {
+		wave := states[next : next+size]
+		next += size
+		got := make([]ExplainOut, size)
+		be.Explain(batched, wave, false, got)
+		for i, s := range wave {
+			var want ExplainOut
+			want.Action, want.Features, want.Logits, want.Probs = scalar.Explain(s, false)
+			if !reflect.DeepEqual(got[i], want) {
+				t.Fatalf("wave size %d row %d diverged from scalar stream", size, i)
+			}
+		}
+	}
+}

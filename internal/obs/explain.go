@@ -109,18 +109,39 @@ func NewExplainRecorder(capacity int) *ExplainRecorder {
 
 // SetMeta declares the feature names, feature-mode name and rejection cap
 // of subsequent records. The first call after a sink is installed writes
-// the explain_header line; later calls only update the in-memory meta
-// (served by FeatureNames).
+// the explain_header line; a later call that actually changes the meta (a
+// feature-mode-changing model reload) writes a fresh header, so a sink
+// stream stays self-describing: every record decodes against the most
+// recent preceding header. Calls that restate the current meta only update
+// the in-memory copy (served by FeatureNames).
 func (r *ExplainRecorder) SetMeta(names []string, mode string, maxRejections int) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
+	if metaChanged(r.names, r.mode, r.maxRejections, names, mode, maxRejections) {
+		r.headerOut = false
+	}
 	r.names = names
 	r.mode = mode
 	r.maxRejections = maxRejections
 	r.writeHeaderLocked()
 	r.mu.Unlock()
+}
+
+// metaChanged reports whether a SetMeta call declares different meta than
+// the recorder currently holds (a nil current name set counts as changed —
+// the first declaration must emit a header).
+func metaChanged(curNames []string, curMode string, curMax int, names []string, mode string, maxRejections int) bool {
+	if curNames == nil || curMode != mode || curMax != maxRejections || len(curNames) != len(names) {
+		return true
+	}
+	for i := range names {
+		if curNames[i] != names[i] {
+			return true
+		}
+	}
+	return false
 }
 
 // FeatureNames returns the feature labels last declared with SetMeta.

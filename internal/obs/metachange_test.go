@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestGaugeFunc(t *testing.T) {
+	reg := NewRegistry()
+	accepts := reg.Counter("t_accepts_total", "", nil)
+	rejects := reg.Counter("t_rejects_total", "", nil)
+	reg.GaugeFunc("t_reject_ratio", "Computed at scrape time.", nil, func() float64 {
+		total := accepts.Value() + rejects.Value()
+		if total == 0 {
+			return 0
+		}
+		return rejects.Value() / total
+	})
+
+	render := func() string {
+		var sb strings.Builder
+		if err := reg.WriteProm(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if page := render(); !strings.Contains(page, "t_reject_ratio 0\n") {
+		t.Errorf("empty ratio sample missing:\n%s", page)
+	}
+	accepts.Inc()
+	rejects.Inc()
+	rejects.Inc()
+	rejects.Inc()
+	if page := render(); !strings.Contains(page, "t_reject_ratio 0.75\n") {
+		t.Errorf("ratio not recomputed at scrape:\n%s", page)
+	}
+	if page := render(); !strings.Contains(page, "# TYPE t_reject_ratio gauge") {
+		t.Errorf("TYPE line missing:\n%s", page)
+	}
+}
+
+func TestGaugeFuncNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil GaugeFunc did not panic")
+		}
+	}()
+	NewRegistry().GaugeFunc("t_bad", "", nil, nil)
+}
+
+// TestTraceRingMetaChangeReemitsHeader pins the sink-stream contract a
+// feature-mode-changing model reload depends on: a SetMeta call that
+// changes the meta emits a fresh header record, so every decision in the
+// stream decodes against the most recent preceding header, while a SetMeta
+// restating the current meta emits nothing.
+func TestTraceRingMetaChangeReemitsHeader(t *testing.T) {
+	r := NewTraceRing(16, 512)
+	var sink bytes.Buffer
+	r.SetSink(&sink)
+
+	r.SetMeta([]string{"a", "b"}, "modeA", 3)
+	rec := testDecision(0)
+	rec.Features = []float64{1, 2}
+	r.EmitDecision(&rec)
+
+	r.SetMeta([]string{"a", "b"}, "modeA", 3) // restated: no new header
+	r.EmitDecision(&rec)
+
+	r.SetMeta([]string{"x", "y", "z"}, "modeB", 5) // changed: fresh header
+	rec2 := testDecision(1)
+	rec2.Features = []float64{1, 2, 3}
+	r.EmitDecision(&rec2)
+
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	kinds, bodies := decodeImage(t, sink.Bytes())
+	wantKinds := []byte{FTraceKindHeader, FTraceKindDecision, FTraceKindDecision,
+		FTraceKindHeader, FTraceKindDecision}
+	if len(kinds) != len(wantKinds) {
+		t.Fatalf("stream kinds %v, want %v", kinds, wantKinds)
+	}
+	var curFeatures int
+	for i, k := range kinds {
+		if k != wantKinds[i] {
+			t.Fatalf("stream kinds %v, want %v", kinds, wantKinds)
+		}
+		switch k {
+		case FTraceKindHeader:
+			h, err := DecodeFTraceHeader(bodies[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			curFeatures = len(h.Features)
+		case FTraceKindDecision:
+			d, err := DecodeFTraceDecision(bodies[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(d.Features) != curFeatures {
+				t.Errorf("record %d carries %d features under a %d-feature header",
+					i, len(d.Features), curFeatures)
+			}
+		}
+	}
+
+	// The live ring holds both headers too, in emission order.
+	kinds, _ = decodeImage(t, r.Snapshot())
+	headers := 0
+	for _, k := range kinds {
+		if k == FTraceKindHeader {
+			headers++
+		}
+	}
+	if headers != 2 {
+		t.Errorf("ring snapshot holds %d headers, want 2", headers)
+	}
+}
+
+// TestExplainRecorderMetaChangeReemitsHeader is the JSONL twin.
+func TestExplainRecorderMetaChangeReemitsHeader(t *testing.T) {
+	r := NewExplainRecorder(16)
+	var sink strings.Builder
+	r.SetSink(&sink)
+
+	r.SetMeta([]string{"a", "b"}, "modeA", 3)
+	r.Record(ExplainRecord{Features: []float64{1, 2}})
+	r.SetMeta([]string{"a", "b"}, "modeA", 3) // restated
+	r.SetMeta([]string{"x", "y", "z"}, "modeB", 5)
+	r.Record(ExplainRecord{Features: []float64{1, 2, 3}})
+
+	var kinds []string
+	curFeatures := 0
+	sc := bufio.NewScanner(strings.NewReader(sink.String()))
+	for sc.Scan() {
+		var probe struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, probe.Kind)
+		switch probe.Kind {
+		case "explain_header":
+			var h ExplainHeader
+			if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+				t.Fatal(err)
+			}
+			curFeatures = len(h.Features)
+		case "decision":
+			var d struct {
+				Features []float64 `json:"features"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+				t.Fatal(err)
+			}
+			if len(d.Features) != curFeatures {
+				t.Errorf("decision carries %d features under a %d-feature header",
+					len(d.Features), curFeatures)
+			}
+		}
+	}
+	want := []string{"explain_header", "decision", "explain_header", "decision"}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Errorf("stream kinds %v, want %v", kinds, want)
+	}
+}

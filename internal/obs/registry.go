@@ -82,6 +82,25 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	return g
 }
 
+// GaugeFunc registers a gauge whose value fn computes at scrape time — the
+// right shape for values derived from other metrics (a ratio of two
+// counters, a live queue depth), where per-event read-modify-write updates
+// interleave under concurrency and publish torn values. fn must be safe for
+// concurrent use and is called once per exposition.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	if fn == nil {
+		panic(fmt.Sprintf("obs: nil GaugeFunc for metric %q", name))
+	}
+	r.register(name, help, "gauge", labels, gaugeFunc(fn))
+}
+
+// gaugeFunc renders a computed gauge sample.
+type gaugeFunc func() float64
+
+func (g gaugeFunc) render(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatValue(g()))
+}
+
 // Histogram registers a histogram with the given upper bucket bounds (the
 // +Inf bucket is implicit; bounds must be strictly increasing). A nil
 // buckets slice uses DefBuckets.

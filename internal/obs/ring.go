@@ -377,13 +377,19 @@ func (r *TraceRing) EmitShapedSpan(sh *SpanShape, id, parent SpanID, wallStart, 
 
 // SetMeta declares the feature names, feature-mode name and rejection cap
 // of subsequent decision records, mirroring ExplainRecorder.SetMeta: the
-// first call after construction (or after SetSink) emits one header record;
-// later calls only update the stored meta.
+// first call after construction (or after SetSink) emits one header record,
+// and a later call that actually changes the meta (a feature-mode-changing
+// model reload) emits a fresh header record into the ring and sink stream,
+// so every decision record decodes against the most recent preceding
+// header. Calls restating the current meta only update the stored copy.
 func (r *TraceRing) SetMeta(names []string, mode string, maxRejections int) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
+	if metaChanged(r.metaNames, r.metaMode, r.metaMaxRej, names, mode, maxRejections) {
+		r.headerOut = false
+	}
 	r.metaNames = names
 	r.metaMode = mode
 	r.metaMaxRej = maxRejections

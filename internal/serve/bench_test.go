@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"schedinspector/internal/core"
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/workload"
+)
+
+// Serving-throughput benchmarks: the decision-wave path against a faithful
+// replica of the pre-wave serving path (one model mutex, a scalar forward
+// per request), at 1, 64 and 512 concurrent clients. Results are archived
+// in BENCH_serve.json by `make bench-serve` and gated advisorily by
+// `make bench-serve-check`; each benchmark reports decisions/s and the p99
+// request latency alongside the standard ns/op.
+
+func benchInspector() *core.Inspector {
+	tr := workload.SDSCSP2Like(500, 3)
+	return core.NewInspector(rand.New(rand.NewSource(17)), core.ManualFeatures,
+		core.NormalizerForTrace(tr, metrics.BSLD), nil)
+}
+
+// mutexBaseline rebuilds the pre-wave /v1/inspect route on a handler whose
+// collector has been stopped: full decode and validation, then a scalar
+// Explain under one model mutex — the exact critical section this PR
+// replaced — followed by the same recordDecision call.
+func mutexBaseline(h *Handler) http.Handler {
+	var mu sync.Mutex
+	return http.HandlerFunc(h.instrument("/v1/inspect-mutex", func(w http.ResponseWriter, r *http.Request) {
+		var req InspectRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request", http.StatusBadRequest)
+			return
+		}
+		if req.Job.Procs <= 0 || req.Job.Est <= 0 || req.TotalProcs <= 0 ||
+			req.FreeProcs < 0 || req.FreeProcs > req.TotalProcs {
+			http.Error(w, "invalid", http.StatusBadRequest)
+			return
+		}
+		st := waveState(&req)
+		mu.Lock()
+		snap := h.snap.Load()
+		action, feat, logits, probs := snap.insp.Explain(st, false)
+		maxRej := snap.maxRej
+		mu.Unlock()
+		reject := action == core.ActionReject
+		h.recordDecision(&req, feat, logits, probs, action, maxRej, reject)
+		writeJSON(w, InspectResponse{Reject: reject, RejectProb: probs[core.ActionReject]})
+	}))
+}
+
+// benchInspect drives b.N requests through target from the given number of
+// concurrent clients, reporting decisions/s and p99 request latency.
+func benchInspect(b *testing.B, clients int, target http.Handler) {
+	b.Helper()
+	body, err := json.Marshal(validRequest())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if clients > b.N {
+		clients = b.N
+	}
+	lat := make([][]int64, clients)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		n := b.N / clients
+		if c < b.N%clients {
+			n++
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			ls := make([]int64, 0, n)
+			for i := 0; i < n; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/inspect", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				target.ServeHTTP(rec, req)
+				ls = append(ls, time.Since(t0).Nanoseconds())
+				if rec.Code != http.StatusOK {
+					b.Errorf("status %d: %s", rec.Code, rec.Body.String())
+					return
+				}
+			}
+			lat[c] = ls
+		}(c, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	all := make([]int64, 0, b.N)
+	for _, ls := range lat {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		b.ReportMetric(float64(all[(len(all)-1)*99/100]), "p99-ns")
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "decisions/s")
+	}
+}
+
+func benchWave(b *testing.B, clients int) {
+	h := NewHandlerOptions(benchInspector(), Options{})
+	defer h.Close()
+	benchInspect(b, clients, h)
+}
+
+func benchMutex(b *testing.B, clients int) {
+	h := NewHandlerOptions(benchInspector(), Options{})
+	h.Close() // requests go straight to the model under the baseline mutex
+	benchInspect(b, clients, mutexBaseline(h))
+}
+
+func BenchmarkInspectWaveC1(b *testing.B)    { benchWave(b, 1) }
+func BenchmarkInspectWaveC64(b *testing.B)   { benchWave(b, 64) }
+func BenchmarkInspectWaveC512(b *testing.B)  { benchWave(b, 512) }
+func BenchmarkInspectMutexC1(b *testing.B)   { benchMutex(b, 1) }
+func BenchmarkInspectMutexC64(b *testing.B)  { benchMutex(b, 64) }
+func BenchmarkInspectMutexC512(b *testing.B) { benchMutex(b, 512) }

@@ -105,28 +105,43 @@ type InfoResponse struct {
 
 // Handler serves one inspector model.
 type Handler struct {
-	mu   sync.Mutex // the inspector reuses internal buffers
-	insp *core.Inspector
+	// The served model, published as one atomic snapshot (model + derived
+	// constants + generation). Request paths load it lock-free; only the
+	// collector goroutine stores it (see batch.go / reload.go).
+	snap atomic.Pointer[snapshot]
 	mux  *http.ServeMux
 
-	// Hot reload (see reload.go). reloader is set once before serving;
-	// generation counts successful swaps, starting at 1 for the boot model.
+	// Batched serving path (see batch.go): requests enqueue pending
+	// decisions, the collector drains them into waves and answers each
+	// wave with one batched forward.
+	opts          Options
+	queue         chan *pendingDecision
+	swapCh        chan swapRequest
+	collectorDone chan struct{}
+	stopMu        sync.RWMutex // guards stopped; held (R) across queue sends
+	stopped       bool
+	batcher       core.BatchExplainer // collector-only
+	pendPool      sync.Pool
+
+	// Hot reload (see reload.go). reloader is set once before serving.
 	reloadMu sync.Mutex // serializes reloads, NOT held while serving
 	reloader func() (*core.Inspector, error)
 
 	// Telemetry.
-	reg          *obs.Registry
-	reqMu        sync.Mutex
-	reqCounts    map[string]*obs.Counter // "route code" -> requests_total series
-	latency      map[string]*obs.Histogram
-	accepts      *obs.Counter
-	rejects      *obs.Counter
-	rejRatio     *obs.Gauge
-	probHist     *obs.Histogram
-	params       *obs.Gauge
-	reloads      *obs.Counter
-	loadFailures *obs.Counter
-	generation   *obs.Gauge
+	reg           *obs.Registry
+	reqMu         sync.Mutex
+	reqCounts     map[string]*obs.Counter // "route code" -> requests_total series
+	latency       map[string]*obs.Histogram
+	accepts       *obs.Counter
+	rejects       *obs.Counter
+	probHist      *obs.Histogram
+	params        *obs.Gauge
+	reloads       *obs.Counter
+	loadFailures  *obs.Counter
+	generation    *obs.Gauge
+	waveSize      *obs.Histogram
+	coalesce      *obs.Histogram
+	auditFailures *obs.Counter
 
 	auditMu sync.Mutex
 	audit   *json.Encoder // decision audit log (JSONL), nil unless enabled
@@ -139,23 +154,38 @@ type Handler struct {
 	// Always-on binary flight recorder (see trace.go): every served
 	// decision is also encoded into the arena-backed trace ring, dumped
 	// over GET /v1/trace/snapshot and optionally streamed to a .ftrace
-	// sink. The ring has its own lock; the serving path never holds h.mu
-	// while emitting.
+	// sink. The ring has its own lock; the request path never blocks on it.
 	ring *obs.TraceRing
 }
 
-// NewHandler wraps the inspector in an http.Handler with routes
-// POST /v1/inspect, POST /v1/simulate, GET /v1/info (also served at
-// /healthz) and GET /metrics (Prometheus text exposition).
+// NewHandler wraps the inspector in an http.Handler with the default
+// Options. See NewHandlerOptions.
 func NewHandler(insp *core.Inspector) *Handler {
+	return NewHandlerOptions(insp, Options{})
+}
+
+// NewHandlerOptions wraps the inspector in an http.Handler with routes
+// POST /v1/inspect, POST /v1/simulate, GET /v1/info (also served at
+// /healthz) and GET /metrics (Prometheus text exposition). It starts the
+// decision-wave collector goroutine; call Close to stop it after the HTTP
+// server has drained.
+func NewHandlerOptions(insp *core.Inspector, opts Options) *Handler {
+	opts = opts.withDefaults()
 	h := &Handler{
-		insp:      insp,
-		mux:       http.NewServeMux(),
-		reg:       obs.NewRegistry(),
-		reqCounts: make(map[string]*obs.Counter),
-		latency:   make(map[string]*obs.Histogram),
-		explains:  obs.NewExplainRecorder(DefaultServeExplainCap),
-		ring:      obs.NewTraceRing(0, 0),
+		mux:           http.NewServeMux(),
+		opts:          opts,
+		queue:         make(chan *pendingDecision, opts.QueueDepth),
+		swapCh:        make(chan swapRequest),
+		collectorDone: make(chan struct{}),
+		reg:           obs.NewRegistry(),
+		reqCounts:     make(map[string]*obs.Counter),
+		latency:       make(map[string]*obs.Histogram),
+		explains:      obs.NewExplainRecorder(DefaultServeExplainCap),
+		ring:          obs.NewTraceRing(0, 0),
+	}
+	h.snap.Store(&snapshot{insp: insp, maxRej: insp.Norm.MaxRejections, gen: 1})
+	h.pendPool.New = func() any {
+		return &pendingDecision{done: make(chan inspectOutcome, 1)}
 	}
 	h.ring.Instrument(h.reg)
 	h.explains.SetMeta(insp.Mode.FeatureNames(), insp.Mode.String(), insp.Norm.MaxRejections)
@@ -164,8 +194,18 @@ func NewHandler(insp *core.Inspector) *Handler {
 		"Inspection verdicts served, by outcome.", obs.Labels{"verdict": "accept"})
 	h.rejects = h.reg.Counter("schedinspector_inspect_decisions_total",
 		"Inspection verdicts served, by outcome.", obs.Labels{"verdict": "reject"})
-	h.rejRatio = h.reg.Gauge("schedinspector_inspect_reject_ratio",
-		"Fraction of served decisions that rejected (lifetime).", nil)
+	// The reject ratio derives from the two verdict counters at scrape
+	// time; a per-decision read-modify-write of a gauge would interleave
+	// under concurrency and publish torn ratios.
+	h.reg.GaugeFunc("schedinspector_inspect_reject_ratio",
+		"Fraction of served decisions that rejected (lifetime).", nil,
+		func() float64 {
+			total := h.accepts.Value() + h.rejects.Value()
+			if total == 0 {
+				return 0
+			}
+			return h.rejects.Value() / total
+		})
 	h.probHist = h.reg.Histogram("schedinspector_inspect_reject_prob",
 		"Distribution of the policy's rejection probability.",
 		obs.LinearBuckets(0.1, 0.1, 9), nil)
@@ -179,6 +219,19 @@ func NewHandler(insp *core.Inspector) *Handler {
 	h.generation = h.reg.Gauge("schedinspector_model_generation",
 		"Generation of the served model (1 = boot model, +1 per swap).", nil)
 	h.generation.Set(1)
+	h.reg.GaugeFunc("schedinspector_inspect_queue_depth",
+		"Pending decisions in the decision-wave queue.", nil,
+		func() float64 { return float64(len(h.queue)) })
+	h.reg.Gauge("schedinspector_inspect_queue_capacity",
+		"Capacity of the decision-wave queue.", nil).Set(float64(opts.QueueDepth))
+	h.waveSize = h.reg.Histogram("schedinspector_inspect_wave_size",
+		"Decisions answered per batched forward.",
+		obs.ExponentialBuckets(1, 2, 10), nil)
+	h.coalesce = h.reg.Histogram("schedinspector_inspect_coalesce_seconds",
+		"Time a decision waited in the queue before its wave was forwarded.",
+		obs.ExponentialBuckets(1e-6, 4, 10), nil)
+	h.auditFailures = h.reg.Counter("schedinspector_audit_write_failures_total",
+		"Decision audit log encode/write failures (the decision still serves).", nil)
 	h.mux.HandleFunc("/v1/inspect", h.instrument("/v1/inspect", h.inspect))
 	h.mux.HandleFunc("/v1/simulate", h.instrument("/v1/simulate", h.simulate))
 	h.mux.HandleFunc("/v1/info", h.instrument("/v1/info", h.info))
@@ -187,6 +240,7 @@ func NewHandler(insp *core.Inspector) *Handler {
 	h.mux.HandleFunc("/v1/explain/last", h.instrument("/v1/explain/last", h.explainLast))
 	h.mux.HandleFunc("/v1/trace/snapshot", h.instrument("/v1/trace/snapshot", h.traceSnapshot))
 	h.mux.Handle("/metrics", h.reg.Handler())
+	go h.collect()
 	return h
 }
 
@@ -217,6 +271,17 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards to the underlying writer when it supports streaming, so
+// wrapping a route does not silently strip http.Flusher.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps a route with a request counter (by status code) and a
 // latency histogram.
@@ -259,7 +324,8 @@ type auditRecord struct {
 
 // recordDecision updates the decision metrics, the explain ring, and (if
 // enabled) the audit log. maxRej is the served model's rejection cap,
-// captured under the model lock by the caller.
+// read from the same snapshot the decision was computed under. It runs on
+// the collector goroutine, before the decision's response is released.
 func (h *Handler) recordDecision(req *InspectRequest, feat, logits, probs []float64, action, maxRej int, reject bool) {
 	prob := probs[core.ActionReject]
 	if reject {
@@ -267,8 +333,6 @@ func (h *Handler) recordDecision(req *InspectRequest, feat, logits, probs []floa
 	} else {
 		h.accepts.Inc()
 	}
-	total := h.accepts.Value() + h.rejects.Value()
-	h.rejRatio.Set(h.rejects.Value() / total)
 	h.probHist.Observe(prob)
 
 	util := 0.0
@@ -289,13 +353,18 @@ func (h *Handler) recordDecision(req *InspectRequest, feat, logits, probs []floa
 
 	h.auditMu.Lock()
 	if h.audit != nil {
-		h.audit.Encode(auditRecord{
+		err := h.audit.Encode(auditRecord{
 			Time:       time.Now().UTC().Format(time.RFC3339Nano),
 			Request:    req,
 			Features:   feat,
 			RejectProb: prob,
 			Reject:     reject,
 		})
+		if err != nil {
+			// The sink tore mid-stream (disk full, closed pipe). The decision
+			// still serves; the gap is observable instead of silent.
+			h.auditFailures.Inc()
+		}
 	}
 	h.auditMu.Unlock()
 }
@@ -330,19 +399,22 @@ func (h *Handler) inspect(w http.ResponseWriter, r *http.Request) {
 		req.Job.Wait, req.Rejections, req.FreeProcs, req.TotalProcs,
 		req.BackfillEnabled, req.BackfillCount, queue)
 
-	// One forward pass and exactly one RNG draw per request: Explain
-	// samples through the same kernel Stochastic does and exports the
-	// features, logits and probabilities the explain ring and audit log
-	// record — the previous RejectProb+Stochastic pair forwarded twice for
-	// the same numbers.
-	h.mu.Lock()
-	action, feat, logits, probs := h.insp.Explain(st, false)
-	maxRej := h.insp.Norm.MaxRejections
-	h.mu.Unlock()
-	reject := action == core.ActionReject
-
-	h.recordDecision(&req, feat, logits, probs, action, maxRej, reject)
-	writeJSON(w, InspectResponse{Reject: reject, RejectProb: probs[core.ActionReject]})
+	// The forward pass happens on the collector goroutine: enqueue one
+	// pending decision and wait for its wave. Under load the wave coalesces
+	// many requests into one batched forward; at concurrency 1 it
+	// degenerates to a scalar forward plus one channel handoff. By the time
+	// the outcome arrives, the decision is already recorded (metrics,
+	// explain ring, trace ring, audit log) — see processWave.
+	p := h.pendPool.Get().(*pendingDecision)
+	p.req, p.state, p.enqueued = &req, st, time.Now()
+	if !h.submit(p) {
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	out := <-p.done
+	p.req, p.state = nil, nil
+	h.pendPool.Put(p)
+	writeJSON(w, InspectResponse{Reject: out.reject, RejectProb: out.rejectProb})
 }
 
 // simulate runs a full what-if schedule over the submitted job sequence by
@@ -412,15 +484,13 @@ func (h *Handler) simulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	} else {
-		// Snapshot the model so a long simulation does not hold the
-		// /v1/inspect path's lock; stochastic mode draws from a
+		// Clone from the current snapshot so a long simulation shares no
+		// buffers with the live serving path; stochastic mode draws from a
 		// request-seeded stream so responses are reproducible.
-		h.mu.Lock()
-		snap := h.insp.Clone(rand.New(rand.NewSource(req.Seed)))
-		h.mu.Unlock()
-		decide := snap.Stochastic()
+		clone := h.snap.Load().insp.Clone(rand.New(rand.NewSource(req.Seed)))
+		decide := clone.Stochastic()
 		if mode == "greedy" {
-			decide = snap.Greedy()
+			decide = clone.Greedy()
 		}
 		env := sim.NewEnv()
 		st, done, err := env.Reset(jobs, cfg)
@@ -454,16 +524,14 @@ func (h *Handler) info(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET required", http.StatusMethodNotAllowed)
 		return
 	}
-	h.mu.Lock()
-	resp := InfoResponse{
-		FeatureMode: h.insp.Mode.String(),
-		Metric:      h.insp.Norm.Metric.String(),
-		MaxProcs:    h.insp.Norm.MaxProcs,
-		MaxEst:      h.insp.Norm.MaxEst,
-		Params:      h.insp.Agent.Policy.NumParams(),
-	}
-	h.mu.Unlock()
-	writeJSON(w, resp)
+	insp := h.snap.Load().insp
+	writeJSON(w, InfoResponse{
+		FeatureMode: insp.Mode.String(),
+		Metric:      insp.Norm.Metric.String(),
+		MaxProcs:    insp.Norm.MaxProcs,
+		MaxEst:      insp.Norm.MaxEst,
+		Params:      insp.Agent.Policy.NumParams(),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
