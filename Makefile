@@ -14,7 +14,7 @@ FUZZTIME ?= 30s
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags '-X schedinspector/internal/version.Version=$(VERSION)'
 
-.PHONY: all build bin vet fmt-check test test-short race bench bench-env bench-check bench-serve bench-serve-check equiv fuzz-smoke trace-smoke verify
+.PHONY: all build bin vet fmt-check test test-short race bench bench-env bench-check bench-serve bench-serve-check equiv fuzz-smoke trace-smoke dist-smoke verify
 
 all: build
 
@@ -40,7 +40,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/serve/ ./internal/rollout/ ./internal/ckpt/ ./internal/explain/
+	$(GO) test -race ./internal/obs/ ./internal/serve/ ./internal/rollout/ ./internal/ckpt/ ./internal/explain/ ./internal/dist/
 	$(GO) test -race -short ./internal/core/ ./internal/rl/ ./internal/sim/
 
 bench: bench-env
@@ -76,10 +76,11 @@ bench-serve-check:
 		| $(GO) run ./cmd/benchjson -check BENCH_serve.json -tolerance 0.25
 
 # equiv runs the golden equivalence suites that pin the Env/wave engines to
-# the verbatim seed implementations — and the batched serving path to the
-# scalar Explain kernel — bit for bit, under the race detector.
+# the verbatim seed implementations — the batched serving path to the
+# scalar Explain kernel — and the distributed engine's replicas to the
+# single-process trainer — bit for bit, under the race detector.
 equiv:
-	$(GO) test -race -run 'Equiv' -count=1 ./internal/sim/ ./internal/core/ ./internal/serve/
+	$(GO) test -race -run 'Equiv' -count=1 ./internal/sim/ ./internal/core/ ./internal/serve/ ./internal/dist/
 
 # trace-smoke exercises the decision flight recorder end to end at smoke
 # scale, on both recording paths: a tiny training run records a JSONL
@@ -103,6 +104,28 @@ trace-smoke:
 	$(GO) run ./cmd/schedinspect explain -in $$tmp/flight.ftrace -feature-stats && \
 	$(GO) run ./cmd/schedinspect explain -in $$tmp/flight.ftrace -convert $$tmp/converted.jsonl && \
 	$(GO) run ./cmd/schedinspect explain -in $$tmp/converted.jsonl -feature-stats && \
+	rm -rf $$tmp
+
+# dist-smoke proves the distributed engine end to end at the process
+# level: a single-process train and a 2-worker train-worker fleet over
+# unix sockets, same seed and config, must write byte-identical model
+# files — and every worker rank must agree. cmp is the whole oracle.
+dist-smoke: bin
+	@set -e; tmp=$$(mktemp -d); \
+	./bin/schedinspect train -trace SDSC-SP2 -jobs 2000 \
+		-epochs 2 -batch 4 -seqlen 64 -seed 42 -model $$tmp/single.gob; \
+	( ./bin/schedinspect train-worker -trace SDSC-SP2 -jobs 2000 \
+		-epochs 2 -batch 4 -seqlen 64 -seed 42 \
+		-world 2 -rank 1 -peers $$tmp/w0.sock,$$tmp/w1.sock \
+		-model $$tmp/rank1.gob ) & worker=$$!; \
+	./bin/schedinspect train-worker -trace SDSC-SP2 -jobs 2000 \
+		-epochs 2 -batch 4 -seqlen 64 -seed 42 \
+		-world 2 -rank 0 -peers $$tmp/w0.sock,$$tmp/w1.sock \
+		-model $$tmp/rank0.gob; \
+	wait $$worker; \
+	cmp $$tmp/single.gob $$tmp/rank0.gob; \
+	cmp $$tmp/single.gob $$tmp/rank1.gob; \
+	echo "dist-smoke: 2-worker model bytes identical to single-process"; \
 	rm -rf $$tmp
 
 # fuzz-smoke gives every fuzz target a short budget (override with

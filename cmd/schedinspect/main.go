@@ -28,6 +28,7 @@ import (
 
 	insp "schedinspector"
 	"schedinspector/internal/core"
+	"schedinspector/internal/dist"
 	"schedinspector/internal/explain"
 	"schedinspector/internal/version"
 )
@@ -40,7 +41,9 @@ func main() {
 	var err error
 	switch os.Args[1] {
 	case "train":
-		err = cmdTrain(os.Args[2:])
+		err = cmdTrain(os.Args[2:], false)
+	case "train-worker":
+		err = cmdTrain(os.Args[2:], true)
 	case "eval":
 		err = cmdEval(os.Args[2:])
 	case "stats":
@@ -67,6 +70,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   schedinspect train -trace NAME [-swf FILE] -policy SJF -metric bsld [-epochs N] [-batch N] [-workers N] [-backfill] [-telemetry OUT.csv] [-checkpoint-dir DIR [-checkpoint-every N] [-resume]] -model OUT.gob
+  schedinspect train-worker -rank N -world M -peers ADDR0,ADDR1,... [train flags] -model OUT.gob
   schedinspect eval  -trace NAME [-swf FILE] -policy SJF -metric bsld [-sequences N] [-workers N] [-backfill] -model IN.gob
   schedinspect stats -trace NAME [-swf FILE]
   schedinspect inspect -trace NAME [-swf FILE] -policy SJF -model IN.gob
@@ -149,8 +153,19 @@ func policyFor(name string, tr *insp.Trace) (insp.Policy, error) {
 	return insp.PolicyByName(name)
 }
 
-func cmdTrain(args []string) error {
-	fs := flag.NewFlagSet("train", flag.ExitOnError)
+// cmdTrain implements both the single-process "train" subcommand and the
+// distributed "train-worker" one (worker=true): the flows are identical —
+// build config, resume, drive epochs, save the model — except that a
+// worker adds the rank/world/peers flags and runs its epochs through the
+// dist engine's exchange barrier. Every worker rank saves -model, and the
+// bytes are identical across ranks and to a single-process run on the
+// same seed/config (the property make dist-smoke diffs).
+func cmdTrain(args []string, worker bool) error {
+	cmdName := "train"
+	if worker {
+		cmdName = "train-worker"
+	}
+	fs := flag.NewFlagSet(cmdName, flag.ExitOnError)
 	name, swf, jobs, seed := traceFlags(fs)
 	polName := fs.String("policy", "SJF", "base scheduling policy (FCFS, LCFS, SJF, SQF, SAF, SRF, F1, Slurm)")
 	metric := fs.String("metric", "bsld", "metric to optimize (bsld, wait, mbsld)")
@@ -168,6 +183,17 @@ func cmdTrain(args []string) error {
 	ckptKeep := fs.Int("checkpoint-keep", 3, "checkpoint files to retain, oldest pruned first (0 = keep all)")
 	resume := fs.Bool("resume", false, "resume from the latest valid checkpoint in -checkpoint-dir")
 	flight, flightFormat := flightFlags(fs)
+	var rank, world *int
+	var peersList, network *string
+	var dialTimeout, exchangeTimeout *time.Duration
+	if worker {
+		rank = fs.Int("rank", 0, "this worker's rank in [0, world)")
+		world = fs.Int("world", 2, "number of cooperating worker processes")
+		peersList = fs.String("peers", "", "comma-separated listen addresses, one per rank in rank order")
+		network = fs.String("network", "", "peer network: tcp, unix, or empty to infer per address")
+		dialTimeout = fs.Duration("dial-timeout", 30*time.Second, "bound on establishing the peer mesh")
+		exchangeTimeout = fs.Duration("exchange-timeout", 10*time.Minute, "bound on each per-epoch exchange barrier; must cover the slowest peer's rollout")
+	}
 	fs.Parse(args)
 
 	if *resume && *ckptDir == "" {
@@ -190,6 +216,12 @@ func cmdTrain(args []string) error {
 	cfg.Backfill = *backfill
 	cfg.Batch, cfg.SeqLen, cfg.Seed = *batch, *seqLen, *seed
 	cfg.Workers = *workers
+	if worker {
+		cfg.World, cfg.Rank = *world, *rank
+		if *peersList != "" {
+			cfg.Peers = strings.Split(*peersList, ",")
+		}
+	}
 	if cfg.FeatureMode, err = parseFeatures(*features); err != nil {
 		return err
 	}
@@ -243,12 +275,27 @@ func cmdTrain(args []string) error {
 	defer stop()
 
 	t0 := time.Now()
-	_, err = trainer.TrainCtx(ctx, remaining, core.CheckpointConfig{
-		Dir: *ckptDir, Every: *ckptEvery, Keep: *ckptKeep,
-	}, func(st insp.EpochStats) {
-		fmt.Printf("epoch %3d/%d: improvement %9.2f (%+.1f%%), rejection ratio %.2f\n",
-			st.Epoch, *epochs, st.MeanImprovement, 100*st.MeanPctImprovement, st.RejectionRatio)
-	})
+	ck := core.CheckpointConfig{Dir: *ckptDir, Every: *ckptEvery, Keep: *ckptKeep}
+	prefix := ""
+	if worker {
+		prefix = fmt.Sprintf("rank %d ", *rank)
+	}
+	progress := func(st insp.EpochStats) {
+		fmt.Printf("%sepoch %3d/%d: improvement %9.2f (%+.1f%%), rejection ratio %.2f\n",
+			prefix, st.Epoch, *epochs, st.MeanImprovement, 100*st.MeanPctImprovement, st.RejectionRatio)
+	}
+	if worker {
+		_, err = dist.Train(ctx, trainer, remaining, ck, dist.Options{
+			Network:         *network,
+			DialTimeout:     *dialTimeout,
+			ExchangeTimeout: *exchangeTimeout,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}, progress)
+	} else {
+		_, err = trainer.TrainCtx(ctx, remaining, ck, progress)
+	}
 	if errors.Is(err, core.ErrInterrupted) {
 		stop()
 		if *ckptDir != "" {

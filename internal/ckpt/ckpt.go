@@ -138,6 +138,56 @@ func decode(data []byte, path string) (uint32, []byte, error) {
 	return version, payload, nil
 }
 
+// WriteFrame writes one container as a stream frame to w. The container
+// layout doubles as a self-delimiting wire format — the header carries the
+// payload length, so frames can be concatenated on a socket and read back
+// with ReadFrame. internal/dist frames every peer message this way, which
+// gives the wire the same magic + CRC-32C corruption detection as the
+// on-disk checkpoints.
+func WriteFrame(w io.Writer, version uint32, payload []byte) error {
+	return Encode(w, version, payload)
+}
+
+// ReadFrame reads exactly one container frame from r and returns its
+// payload version and payload. maxPayload bounds the allocation a frame
+// header can demand (<= 0 means MaxPayload); a longer length field, bad
+// magic or CRC mismatch yields a *CorruptError, while plain I/O failures
+// (including a cleanly closed stream before any header byte, io.EOF) pass
+// through. A stream truncated mid-frame surfaces as corruption, not EOF.
+func ReadFrame(r io.Reader, maxPayload int) (version uint32, payload []byte, err error) {
+	limit := uint64(MaxPayload)
+	if maxPayload > 0 {
+		limit = uint64(maxPayload)
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF // clean end of stream between frames
+		}
+		return 0, nil, fmt.Errorf("ckpt: read frame header: %w", err)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		return 0, nil, corrupt("", "frame truncated in %d-byte header: %v", headerSize, err)
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return 0, nil, corrupt("", "bad frame magic %q", hdr[:8])
+	}
+	version = binary.BigEndian.Uint32(hdr[8:12])
+	n := binary.BigEndian.Uint64(hdr[12:20])
+	if n > limit {
+		return 0, nil, corrupt("", "frame payload length %d exceeds limit %d", n, limit)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, corrupt("", "frame truncated in %d-byte payload: %v", n, err)
+	}
+	if sum := crc32.Checksum(payload, castagnoli); sum != binary.BigEndian.Uint32(hdr[20:24]) {
+		return 0, nil, corrupt("", "frame CRC mismatch (stored %08x, computed %08x)",
+			binary.BigEndian.Uint32(hdr[20:24]), sum)
+	}
+	return version, payload, nil
+}
+
 // Write atomically replaces path with a container holding payload: the
 // bytes land in a temporary file in the same directory, are fsynced,
 // renamed over path, and the directory entry is fsynced. Concurrent

@@ -1,0 +1,75 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("first"), {}, []byte("third frame with more bytes")}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, uint32(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		version, got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if version != uint32(i+1) || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: version=%d payload=%q, want version=%d payload=%q",
+				i, version, got, i+1, p)
+		}
+	}
+	// A cleanly exhausted stream reports io.EOF, not corruption.
+	if _, _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Fatalf("end of stream: err=%v, want io.EOF", err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	frame := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, 1, []byte("payload bytes")); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"truncated header", func(b []byte) []byte { return b[:headerSize-3] }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-2] }},
+		{"flipped payload bit", func(b []byte) []byte { b[headerSize+4] ^= 0x01; return b }},
+		{"flipped CRC", func(b []byte) []byte { b[20] ^= 0x10; return b }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ReadFrame(bytes.NewReader(tc.mut(frame())), 0)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err=%v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestFrameLengthBound(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, 1, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// A tight bound rejects the frame before allocating its payload.
+	if _, _, err := ReadFrame(bytes.NewReader(buf.Bytes()), 16); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err=%v, want ErrCorrupt for oversized frame", err)
+	}
+	// The exact size passes.
+	if _, _, err := ReadFrame(bytes.NewReader(buf.Bytes()), 64); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -491,18 +491,30 @@ type CheckpointConfig struct {
 	Keep int
 }
 
-// TrainCtx runs up to epochs training epochs like Train, with two
-// robustness additions: a checkpoint is written to ck.Dir every ck.Every
-// epochs (atomically — a crash mid-save leaves the previous file), and
-// when ctx is canceled (SIGINT/SIGTERM in the CLI) the in-flight epoch
-// finishes, a final checkpoint is saved, and the run returns the stats so
-// far with an error matching ErrInterrupted. Completion also writes a
-// final checkpoint, so a follow-up run can extend training seamlessly.
+// EpochFunc produces one training epoch's statistics. It is the pluggable
+// heart of DriveEpochs: the single-process trainer passes Trainer.RunEpoch,
+// a distributed worker passes its rollout-shard → exchange → reduce → apply
+// cycle (internal/dist). Implementations must leave the trainer on an epoch
+// boundary on success; on error the epoch is considered failed and no
+// checkpoint is written (the trainer's weights are still those of the last
+// completed epoch, so the newest on-disk checkpoint remains the truth).
+type EpochFunc func() (EpochStats, error)
+
+// DriveEpochs is the one epoch loop every training front-end shares —
+// Train, TrainCtx and the distributed worker loop all delegate here, so
+// checkpointing and interrupt handling exist exactly once. It runs up to
+// epochs iterations of run: a checkpoint is written to ck.Dir every
+// ck.Every epochs (atomically — a crash mid-save leaves the previous
+// file), and when ctx is canceled (SIGINT/SIGTERM in the CLI) the
+// in-flight epoch finishes, a final checkpoint is saved, and the loop
+// returns the stats so far with an error matching ErrInterrupted.
+// Completion also writes a final checkpoint, so a follow-up run can extend
+// training seamlessly.
 //
 // Epochs are atomic with respect to interruption: checkpoints land only
 // on epoch boundaries, which is what keeps kill-and-resume bit-identical
 // to an uninterrupted run.
-func (t *Trainer) TrainCtx(ctx context.Context, epochs int, ck CheckpointConfig, cb func(EpochStats)) ([]EpochStats, error) {
+func (t *Trainer) DriveEpochs(ctx context.Context, epochs int, ck CheckpointConfig, run EpochFunc, cb func(EpochStats)) ([]EpochStats, error) {
 	out := make([]EpochStats, 0, epochs)
 	save := func() error {
 		if ck.Dir == "" {
@@ -524,7 +536,7 @@ func (t *Trainer) TrainCtx(ctx context.Context, epochs int, ck CheckpointConfig,
 			}
 			return out, fmt.Errorf("%w after epoch %d: %w", ErrInterrupted, t.epoch, err)
 		}
-		st, err := t.RunEpoch()
+		st, err := run()
 		if err != nil {
 			return out, err
 		}
@@ -542,4 +554,10 @@ func (t *Trainer) TrainCtx(ctx context.Context, epochs int, ck CheckpointConfig,
 		return out, err
 	}
 	return out, nil
+}
+
+// TrainCtx runs up to epochs single-process training epochs through
+// DriveEpochs — see there for the checkpoint and interruption contract.
+func (t *Trainer) TrainCtx(ctx context.Context, epochs int, ck CheckpointConfig, cb func(EpochStats)) ([]EpochStats, error) {
+	return t.DriveEpochs(ctx, epochs, ck, t.RunEpoch, cb)
 }

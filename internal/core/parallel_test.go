@@ -147,6 +147,21 @@ func TestTrainConfigValidate(t *testing.T) {
 		{"negative Workers", func(c *TrainConfig) { c.Workers = -4 }, "Workers"},
 		{"negative BaselineCacheSize", func(c *TrainConfig) { c.BaselineCacheSize = -1 }, "BaselineCacheSize"},
 		{"zero hidden layer", func(c *TrainConfig) { c.Hidden = []int{32, 0} }, "Hidden"},
+		{"negative World", func(c *TrainConfig) { c.World = -1 }, "World"},
+		{"World above Batch", func(c *TrainConfig) { c.World = 5 /* Batch is 4 */ }, "World"},
+		{"negative Rank", func(c *TrainConfig) {
+			c.World, c.Rank, c.Peers = 2, -1, []string{"a.sock", "b.sock"}
+		}, "Rank"},
+		{"Rank at World", func(c *TrainConfig) {
+			c.World, c.Rank, c.Peers = 2, 2, []string{"a.sock", "b.sock"}
+		}, "Rank"},
+		{"too few peers", func(c *TrainConfig) {
+			c.World, c.Peers = 3, []string{"a.sock", "b.sock"}
+		}, "Peers"},
+		{"too many peers", func(c *TrainConfig) {
+			c.World, c.Peers = 2, []string{"a.sock", "b.sock", "c.sock"}
+		}, "Peers"},
+		{"peers without world", func(c *TrainConfig) { c.Peers = []string{"a.sock"} }, "Peers"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -164,6 +179,12 @@ func TestTrainConfigValidate(t *testing.T) {
 	// The zero-valued optional fields must still take their defaults.
 	if _, err := NewTrainer(base()); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
+	}
+	// A well-formed distributed config must pass.
+	dc := base()
+	dc.World, dc.Rank, dc.Peers = 2, 1, []string{"a.sock", "b.sock"}
+	if _, err := NewTrainer(dc); err != nil {
+		t.Fatalf("valid distributed config rejected: %v", err)
 	}
 }
 

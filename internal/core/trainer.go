@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -45,6 +46,17 @@ type TrainConfig struct {
 	// BaselineCacheSize bounds the per-window baseline summary cache
 	// (0 = DefaultBaselineCacheSize).
 	BaselineCacheSize int
+
+	// World, Rank and Peers configure DD-PPO-style multi-process training
+	// (internal/dist). World is the number of cooperating worker processes
+	// (0 = 1, single-process); Rank is this process's index in [0, World);
+	// Peers lists every rank's listen address in rank order — exactly World
+	// entries when World > 1, and empty when single-process. Each worker
+	// rolls out its ShardRange of the epoch batch and exchanges trajectory
+	// deltas with all peers, so World must not exceed Batch.
+	World int
+	Rank  int
+	Peers []string
 
 	PPO rl.PPOConfig // optional PPO overrides (zero values take defaults)
 
@@ -91,6 +103,9 @@ func (c TrainConfig) withDefaults() TrainConfig {
 	if c.BaselineCacheSize == 0 {
 		c.BaselineCacheSize = DefaultBaselineCacheSize
 	}
+	if c.World == 0 {
+		c.World = 1
+	}
 	if c.PPO.LR == 0 {
 		c.PPO.LR = c.LR
 	}
@@ -122,6 +137,18 @@ func (c TrainConfig) validate() error {
 	case c.BaselineCacheSize < 0:
 		return fmt.Errorf("core: TrainConfig.BaselineCacheSize = %d, must be >= 0 (0 means the default %d)",
 			c.BaselineCacheSize, DefaultBaselineCacheSize)
+	case c.World < 1:
+		return fmt.Errorf("core: TrainConfig.World = %d, must be >= 1 (0 means single-process)", c.World)
+	case c.World > c.Batch:
+		return fmt.Errorf("core: TrainConfig.World = %d exceeds Batch = %d; every worker needs at least one trajectory",
+			c.World, c.Batch)
+	case c.Rank < 0 || c.Rank >= c.World:
+		return fmt.Errorf("core: TrainConfig.Rank = %d, must be in [0, World=%d)", c.Rank, c.World)
+	case c.World > 1 && len(c.Peers) != c.World:
+		return fmt.Errorf("core: TrainConfig.Peers has %d entries, need exactly World = %d (one listen address per rank)",
+			len(c.Peers), c.World)
+	case c.World == 1 && len(c.Peers) > 0:
+		return fmt.Errorf("core: TrainConfig.Peers set with World = 1; peer addresses only apply to distributed runs")
 	}
 	for _, h := range c.Hidden {
 		if h < 1 {
@@ -176,6 +203,10 @@ type Trainer struct {
 	trainLo, trainHi int            // window-start range for training sequences
 	baseCache        *baselineCache // bounded baseline summaries keyed by window start
 	cacheSeen        [3]uint64      // last cache stats published to Metrics
+
+	epochT0       time.Time // set by BeginEpoch; EpochStats.Seconds measures from here
+	epochSpan     obs.Span  // open epoch span while the flight recorder is attached
+	epochSpanOpen bool
 }
 
 // NewTrainer validates the configuration and builds a trainer with a fresh
@@ -264,153 +295,24 @@ func (t *Trainer) baseline(start int, pol sched.Policy) (metrics.Summary, error)
 // then each sampled action), so the statistics, the PPO batch, and the
 // trained model are bit-identical for any worker count and any wave
 // composition.
+//
+// RunEpoch is the single-process composition of the separately-invokable
+// epoch phases (see phases.go): BeginEpoch, one full-batch RolloutShard,
+// and ApplyDeltas. Distributed workers call the phases directly, rolling
+// out only their shard and merging peer deltas before applying.
 func (t *Trainer) RunEpoch() (EpochStats, error) {
-	t.epoch++
-	t0 := time.Now()
-	stats := EpochStats{Epoch: t.epoch}
-	B := t.cfg.Batch
-
-	rngs := make([]*rand.Rand, B)
-	starts := make([]int, B)
-	for b := range rngs {
-		rngs[b] = streamRNG(t.cfg.Seed, streamTrain, uint64(t.epoch), uint64(b))
-		starts[b] = t.trainLo + rngs[b].Intn(t.trainHi-t.trainLo)
-	}
-
-	workers := t.cfg.Workers
-	if workers > B {
-		workers = B
-	}
-	basePols, ok := rollout.PolicyClones(t.cfg.Policy, workers)
-	if !ok {
-		workers = 1 // stateful, uncloneable policy: stay sequential
-	}
-
-	// Phase 1: baseline summaries of every drawn window, deduped and
-	// memoized by the cache.
-	baseSums := make([]metrics.Summary, B)
-	baseErrs := make([]error, B)
-	busy, wall := rollout.RunIndexed(workers, B, func(w, b int) {
-		baseSums[b], baseErrs[b] = t.baseline(starts[b], basePols[w])
-	})
-
-	// Phase 2: inspected episodes through the wave driver. Concurrent
-	// episodes each need their own stateful-policy instance; the inspector
-	// itself needs only one read-only snapshot, since decision waves are
-	// evaluated on the coordinating goroutine.
-	epPols, ok := rollout.PolicyClones(t.cfg.Policy, B)
-	epWorkers := workers
-	if !ok {
-		epWorkers = 1
-	}
-	eps := make([]rollout.Episode, B)
-	for b := range eps {
-		pol := epPols[0]
-		if len(epPols) > 1 {
-			pol = epPols[b]
-		}
-		eps[b] = rollout.Episode{
-			Jobs:        t.cfg.Trace.Window(starts[b], t.cfg.SeqLen),
-			Cfg:         t.simConfig(pol),
-			Interactive: true,
-		}
-	}
-	sampler := newWaveSampler(t.insp.Clone(nil), rngs, B, true)
-	rollCfg := rollout.Config{Workers: epWorkers, Decide: sampler.decide}
-	var epochSpan obs.Span
-	if t.cfg.Flight != nil {
-		// The epoch span roots this epoch's episode and decision spans; its
-		// ID is a pure function of (seed, epoch), never of scheduling.
-		epochID := obs.DeriveSpanID(uint64(t.cfg.Seed), streamTrain, uint64(t.epoch))
-		epochSpan = obs.StartSpan("epoch", epochID, 0, 0)
-		rollCfg.Spans = t.cfg.Flight.SpanTracer()
-		rollCfg.Ring = t.cfg.Flight.TraceRing()
-		rollCfg.SpanRoot = epochID
-		sampler.explainTo(t.cfg.Flight, t.epoch, t.cfg.MaxRejections)
-	}
-	results, rep, runErr := rollout.Run(eps, rollCfg)
-	busy += rep.Busy
-	wall += rep.Wall
-	t.cfg.Metrics.observeRollout(workers, busy.Seconds(), wall.Seconds())
-	t.cfg.Metrics.observeCache(t.baseCache, &t.cacheSeen)
-	if t.cfg.Metrics != nil {
-		for _, s := range rep.EpisodeSeconds {
-			t.cfg.Metrics.TrajectorySeconds.Observe(s)
-		}
-	}
-	for b := range baseErrs {
-		if baseErrs[b] != nil {
-			return stats, baseErrs[b]
-		}
-	}
-	if runErr != nil {
-		return stats, runErr
-	}
-
-	batch := make([]rl.Trajectory, 0, B)
-	var inspections, rejections int
-	for b := range results {
-		orig, insp := baseSums[b], results[b].Summary(t.cfg.Trace.MaxProcs)
-		reward := clampReward(Reward(t.cfg.RewardKind, t.cfg.Metric, orig, insp))
-		batch = append(batch, rl.Trajectory{Steps: sampler.steps[b], Reward: reward})
-		diff := orig.Of(t.cfg.Metric) - insp.Of(t.cfg.Metric)
-		if !t.cfg.Metric.Minimize() {
-			diff = -diff
-		}
-		stats.MeanImprovement += diff
-		stats.MeanPctImprovement += metrics.Improvement(t.cfg.Metric, orig, insp)
-		inspections += results[b].Inspections
-		rejections += results[b].Rejections
-	}
-	n := float64(t.cfg.Batch)
-	stats.MeanImprovement /= n
-	stats.MeanPctImprovement /= n
-	if inspections > 0 {
-		stats.RejectionRatio = float64(rejections) / float64(inspections)
-	}
-	up, err := t.ppo.Update(batch)
+	t.BeginEpoch()
+	deltas, err := t.RolloutShard(0, t.cfg.Batch)
 	if err != nil {
-		return stats, err
+		return EpochStats{Epoch: t.epoch}, err
 	}
-	stats.MeanReward = up.MeanReward
-	stats.RewardStd = up.RewardStd
-	stats.ApproxKL = up.ApproxKL
-	stats.PolicyLoss = up.PolicyLoss
-	stats.ValueLoss = up.ValueLoss
-	stats.Entropy = up.Entropy
-	stats.PolicyIters = up.PolicyIters
-	stats.Steps = up.Steps
-	stats.Seconds = time.Since(t0).Seconds()
-	if t.cfg.Flight != nil {
-		epochSpan.Attrs = append(epochSpan.Attrs,
-			obs.Attr{Key: "epoch", Num: float64(t.epoch)},
-			obs.Attr{Key: "steps", Num: float64(stats.Steps)},
-			obs.Attr{Key: "reject_ratio", Num: stats.RejectionRatio},
-			obs.Attr{Key: "mean_reward", Num: stats.MeanReward},
-		)
-		epochSpan.End(0)
-		t.cfg.Flight.EmitSpan(epochSpan)
-	}
-	if t.cfg.Logger != nil {
-		t.cfg.Logger.LogEpoch(stats)
-	}
-	return stats, nil
+	return t.ApplyDeltas(deltas)
 }
 
 // Train runs the given number of epochs, invoking cb (if non-nil) after
 // each, and returns the per-epoch statistics — the data behind every
-// training-curve figure in the paper.
+// training-curve figure in the paper. It is TrainCtx without checkpointing
+// or interruption: the same epoch driver, never canceled.
 func (t *Trainer) Train(epochs int, cb func(EpochStats)) ([]EpochStats, error) {
-	out := make([]EpochStats, 0, epochs)
-	for i := 0; i < epochs; i++ {
-		st, err := t.RunEpoch()
-		if err != nil {
-			return out, err
-		}
-		out = append(out, st)
-		if cb != nil {
-			cb(st)
-		}
-	}
-	return out, nil
+	return t.TrainCtx(context.Background(), epochs, CheckpointConfig{}, cb)
 }

@@ -1,0 +1,276 @@
+// Package dist is the DD-PPO-style multi-process training engine: a set
+// of coordinator-less worker processes that each roll out a shard of every
+// epoch's trajectory batch, exchange per-trajectory deltas all-to-all, and
+// apply the identical PPO update — so every replica holds bit-identical
+// weights and Adam state at every epoch boundary, pinned against the
+// single-process Trainer.Train by the golden equivalence suite.
+//
+// The design choice that makes bit-identity possible is WHAT is exchanged.
+// Averaging per-shard gradients (classic DD-PPO) computes a mathematically
+// different update than full-batch PPO and is non-associative in floating
+// point, so it can never match the single-process trainer byte for byte.
+// Instead, workers exchange rollout results: each trajectory's transitions
+// and scalar statistics (core.TrajDelta), which are pure functions of
+// (seed, epoch, index) and therefore identical wherever they are computed.
+// Every worker then reduces the full delta set in ascending index order
+// and runs the same full-batch update — replicated apply. The model is
+// tiny (three small MLP layers); simulation dominates epoch cost, so
+// sharding the rollout is where the speedup lives and replicating the
+// update costs almost nothing.
+//
+// A post-apply digest round (FNV-64a over the canonical checkpoint bytes)
+// verifies the replicas actually agree each epoch; any drift — a cosmic
+// ray, a mixed-build fleet — surfaces as an error matching ErrDiverged
+// instead of workers silently training different models.
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"schedinspector/internal/core"
+)
+
+// ErrDiverged is the sentinel matched (via errors.Is) by post-apply digest
+// mismatches: two replicas no longer hold identical trainer state.
+var ErrDiverged = errors.New("dist: replica state diverged")
+
+// DivergenceError reports which peer's post-apply state digest disagreed
+// with the local one. It matches ErrDiverged with errors.Is.
+type DivergenceError struct {
+	Epoch         int
+	Rank          int // the disagreeing peer
+	Local, Remote Digest
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("dist: replica state diverged at epoch %d: rank %d digest %016x/%d bytes, local %016x/%d bytes",
+		e.Epoch, e.Rank, e.Remote.Sum, e.Remote.Len, e.Local.Sum, e.Local.Len)
+}
+
+// Is reports whether target is ErrDiverged.
+func (e *DivergenceError) Is(target error) bool { return target == ErrDiverged }
+
+// Options parameterizes the distributed engine's transport and telemetry.
+type Options struct {
+	// Network forces the peer-address network ("tcp" or "unix"); empty
+	// infers it per address (filesystem-path shapes are unix sockets).
+	Network string
+
+	// DialTimeout bounds mesh establishment — listeners coming up, dials
+	// retrying, handshakes completing (default 30s).
+	DialTimeout time.Duration
+
+	// ExchangeTimeout bounds each per-epoch barrier round; a peer that
+	// dies or stalls longer than this yields a *PeerError instead of a
+	// hang (default 10m — it must cover the slowest peer's rollout).
+	ExchangeTimeout time.Duration
+
+	// Metrics, when non-nil, receives exchange latency/volume, straggler
+	// wait and failure observations (see NewMetrics).
+	Metrics *Metrics
+
+	// Logf, when non-nil, receives progress lines (mesh up, epoch done).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 30 * time.Second
+	}
+	if o.ExchangeTimeout == 0 {
+		o.ExchangeTimeout = 10 * time.Minute
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Reduce merges the per-rank shard messages of one epoch into the
+// complete, index-ordered delta set ApplyDeltas requires. It validates
+// the cover exactly — every rank present once, every shard matching its
+// declared [lo, hi) range and the canonical ShardRange split, every delta
+// under its claimed index — so a mis-sharded or replayed message is
+// rejected before it can corrupt an update. Reduction order is fixed by
+// index, never by message arrival.
+func Reduce(batch, world, epoch int, shards []shardMsg) ([]core.TrajDelta, error) {
+	if len(shards) != world {
+		return nil, fmt.Errorf("dist: epoch %d: have %d shards, world is %d", epoch, len(shards), world)
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i].Lo < shards[j].Lo })
+	seen := make([]bool, world)
+	deltas := make([]core.TrajDelta, 0, batch)
+	for _, s := range shards {
+		if s.Epoch != epoch {
+			return nil, fmt.Errorf("dist: rank %d sent epoch %d, expected %d (replayed or skipped barrier)", s.Rank, s.Epoch, epoch)
+		}
+		if s.Rank < 0 || s.Rank >= world || seen[s.Rank] {
+			return nil, fmt.Errorf("dist: epoch %d: duplicate or out-of-range rank %d", epoch, s.Rank)
+		}
+		seen[s.Rank] = true
+		lo, hi := core.ShardRange(batch, world, s.Rank)
+		if s.Lo != lo || s.Hi != hi {
+			return nil, fmt.Errorf("dist: epoch %d: rank %d claims shard [%d, %d), canonical split owns [%d, %d)",
+				epoch, s.Rank, s.Lo, s.Hi, lo, hi)
+		}
+		if len(s.Deltas) != hi-lo {
+			return nil, fmt.Errorf("dist: epoch %d: rank %d sent %d deltas for shard [%d, %d)",
+				epoch, s.Rank, len(s.Deltas), lo, hi)
+		}
+		for k := range s.Deltas {
+			if s.Deltas[k].Index != lo+k {
+				return nil, fmt.Errorf("dist: epoch %d: rank %d delta %d carries index %d, want %d",
+					epoch, s.Rank, k, s.Deltas[k].Index, lo+k)
+			}
+		}
+		if len(deltas) != lo {
+			return nil, fmt.Errorf("dist: epoch %d: shard [%d, %d) leaves a gap after index %d", epoch, lo, hi, len(deltas))
+		}
+		deltas = append(deltas, s.Deltas...)
+	}
+	if len(deltas) != batch {
+		return nil, fmt.Errorf("dist: epoch %d: shards cover %d of %d trajectories", epoch, len(deltas), batch)
+	}
+	return deltas, nil
+}
+
+// Worker couples a trainer to a connected mesh and runs the distributed
+// epoch cycle. Build one with NewWorker, then call Train.
+type Worker struct {
+	t    *core.Trainer
+	mesh *Mesh
+	opt  Options
+}
+
+// NewWorker connects the mesh for t's configured rank/world/peers and
+// returns the worker. The trainer's config must carry World > 1 with a
+// full peer list (TrainConfig validation enforces the shape); every
+// cooperating process must construct its trainer from an identical config
+// apart from Rank — the handshake fingerprint rejects anything else.
+// Close the worker when done.
+func NewWorker(ctx context.Context, t *core.Trainer, opt Options) (*Worker, error) {
+	cfg := t.Config()
+	if cfg.World < 2 {
+		return nil, fmt.Errorf("dist: TrainConfig.World = %d; the distributed engine needs World >= 2 (use Trainer.TrainCtx single-process)", cfg.World)
+	}
+	opt = opt.withDefaults()
+	mesh, err := Connect(ctx, cfg.Rank, cfg.Peers, Fingerprint(cfg), opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{t: t, mesh: mesh, opt: opt}, nil
+}
+
+// Close tears down the worker's mesh.
+func (w *Worker) Close() error { return w.mesh.Close() }
+
+// RunEpoch executes one distributed epoch: roll out the local shard,
+// exchange deltas with every peer (the epoch barrier), reduce the full
+// set in index order, apply the replicated PPO update, then exchange and
+// verify post-apply state digests. It is the distributed counterpart of
+// core.Trainer.RunEpoch and satisfies core.EpochFunc.
+func (w *Worker) RunEpoch() (core.EpochStats, error) {
+	t, cfg := w.t, w.t.Config()
+	epoch := t.BeginEpoch()
+	lo, hi := core.ShardRange(cfg.Batch, cfg.World, cfg.Rank)
+	local, err := t.RolloutShard(lo, hi)
+	if err != nil {
+		return core.EpochStats{Epoch: epoch}, err
+	}
+
+	own := shardMsg{Epoch: epoch, Rank: cfg.Rank, Lo: lo, Hi: hi, Deltas: local}
+	frames, wait, err := w.mesh.Exchange(encodeShard(own))
+	w.opt.Metrics.observeExchange(wait.Seconds())
+	w.opt.Metrics.observeStraggler(wait.Seconds())
+	if err != nil {
+		return core.EpochStats{Epoch: epoch}, err
+	}
+	shards := make([]shardMsg, 0, cfg.World)
+	for p, frame := range frames {
+		if p == cfg.Rank {
+			shards = append(shards, own)
+			continue
+		}
+		m, err := decodeShard(frame)
+		if err != nil {
+			return core.EpochStats{Epoch: epoch}, peerErr(p, "decode", err)
+		}
+		shards = append(shards, m)
+	}
+	deltas, err := Reduce(cfg.Batch, cfg.World, epoch, shards)
+	if err != nil {
+		return core.EpochStats{Epoch: epoch}, err
+	}
+
+	stats, err := t.ApplyDeltas(deltas)
+	if err != nil {
+		return stats, err
+	}
+
+	// Replicas applied the same update to the same state, so their
+	// digests must agree; checking every epoch turns any drift into a
+	// prompt typed error at the boundary where it happened.
+	dg, err := StateDigest(t)
+	if err != nil {
+		return stats, err
+	}
+	dframes, dwait, err := w.mesh.Exchange(encodeDigest(digestMsg{Epoch: epoch, Rank: cfg.Rank, State: dg}))
+	w.opt.Metrics.observeExchange(dwait.Seconds())
+	if err != nil {
+		return stats, err
+	}
+	for p, frame := range dframes {
+		if p == cfg.Rank {
+			continue
+		}
+		m, err := decodeDigest(frame)
+		if err != nil {
+			return stats, peerErr(p, "decode", err)
+		}
+		if m.Epoch != epoch {
+			return stats, peerErr(p, "digest", fmt.Errorf("epoch %d, expected %d", m.Epoch, epoch))
+		}
+		if m.State != dg {
+			return stats, &DivergenceError{Epoch: epoch, Rank: p, Local: dg, Remote: m.State}
+		}
+	}
+	w.opt.Metrics.observeEpoch()
+	w.opt.Logf("dist: rank %d epoch %d done (barrier %.3fs)", cfg.Rank, epoch, wait.Seconds())
+	return stats, nil
+}
+
+// Train runs epochs distributed epochs through the shared phase driver
+// (core.Trainer.DriveEpochs), so checkpointing and interruption behave
+// exactly as in single-process TrainCtx. Two distributed adjustments:
+// periodic checkpoints are written by rank 0 only (every rank's state is
+// identical, so one writer suffices and a shared checkpoint directory
+// sees no redundant churn), while the final and interrupt saves run on
+// every rank — the bytes are identical and the container write is atomic,
+// so concurrent writers to a shared directory are safe, and per-rank
+// directories stay self-contained for restart.
+func (w *Worker) Train(ctx context.Context, epochs int, ck core.CheckpointConfig, cb func(core.EpochStats)) ([]core.EpochStats, error) {
+	if w.t.Config().Rank != 0 {
+		ck.Every = 0
+	}
+	return w.t.DriveEpochs(ctx, epochs, ck, w.RunEpoch, cb)
+}
+
+// Train is the package-level convenience: connect, train, close. The
+// trainer's config selects single-process (World <= 1, plain TrainCtx) or
+// distributed execution, so callers can drive both paths through one
+// entry point.
+func Train(ctx context.Context, t *core.Trainer, epochs int, ck core.CheckpointConfig, opt Options, cb func(core.EpochStats)) ([]core.EpochStats, error) {
+	if t.Config().World < 2 {
+		return t.TrainCtx(ctx, epochs, ck, cb)
+	}
+	w, err := NewWorker(ctx, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	return w.Train(ctx, epochs, ck, cb)
+}

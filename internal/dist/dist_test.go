@@ -1,0 +1,481 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"schedinspector/internal/core"
+	"schedinspector/internal/metrics"
+	"schedinspector/internal/rl"
+	"schedinspector/internal/sched"
+	"schedinspector/internal/workload"
+)
+
+// testTrace is shared across tests: workload synthesis is deterministic,
+// so one trace serves every trainer.
+var testTrace = workload.SDSCSP2Like(2500, 3)
+
+// testConfig builds the canonical test TrainConfig for one rank of a
+// world-sized run (world 1 means single-process: no peers).
+func testConfig(world, rank int, peers []string) core.TrainConfig {
+	return core.TrainConfig{
+		Trace: testTrace, Policy: sched.SJF(), Metric: metrics.BSLD,
+		Batch: 4, SeqLen: 64, Seed: 17, Workers: 2,
+		World: world, Rank: rank, Peers: peers,
+	}
+}
+
+// sockets returns one short unix-socket path per rank. Socket paths count
+// against the ~104-byte sun_path limit, hence the terse names.
+func sockets(t *testing.T, world int) []string {
+	t.Helper()
+	dir := t.TempDir()
+	peers := make([]string, world)
+	for i := range peers {
+		peers[i] = filepath.Join(dir, fmt.Sprintf("w%d.sock", i))
+	}
+	return peers
+}
+
+// zeroSeconds strips the only wall-clock-dependent field so EpochStats
+// compare bit-exactly.
+func zeroSeconds(stats []core.EpochStats) []core.EpochStats {
+	out := append([]core.EpochStats(nil), stats...)
+	for i := range out {
+		out[i].Seconds = 0
+	}
+	return out
+}
+
+// stateBytes returns the canonical serialized trainer state — weights,
+// Adam moments, epoch counter — the bytes the equivalence criteria pin.
+func stateBytes(t *testing.T, tr *core.Trainer) []byte {
+	t.Helper()
+	b, err := tr.Checkpoint().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// runWorld trains a world-sized in-process fleet over unix sockets and
+// returns each rank's per-epoch stats and final serialized state. ck maps
+// rank to its checkpoint config (nil means no checkpointing anywhere).
+func runWorld(t *testing.T, world, epochs int, ck func(rank int) core.CheckpointConfig) ([][]core.EpochStats, [][]byte) {
+	t.Helper()
+	peers := sockets(t, world)
+	statsBy := make([][]core.EpochStats, world)
+	bytesBy := make([][]byte, world)
+	errsBy := make([]error, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := core.NewTrainer(testConfig(world, r, peers))
+			if err != nil {
+				errsBy[r] = err
+				return
+			}
+			var cc core.CheckpointConfig
+			if ck != nil {
+				cc = ck(r)
+			}
+			stats, err := Train(context.Background(), tr, epochs, cc, Options{}, nil)
+			if err != nil {
+				errsBy[r] = err
+				return
+			}
+			statsBy[r] = stats
+			bytesBy[r] = stateBytes(t, tr)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errsBy {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return statsBy, bytesBy
+}
+
+// TestEquivDistWorldSizes is the golden distributed-equivalence suite the
+// tentpole demands: 2- and 4-worker runs must produce serialized model +
+// Adam state bytes — and epoch statistics — identical to the
+// single-process Trainer.Train on the same seed and config.
+func TestEquivDistWorldSizes(t *testing.T) {
+	const epochs = 2
+	ref, err := core.NewTrainer(testConfig(1, 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats, err := ref.Train(epochs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStats = zeroSeconds(wantStats)
+	wantBytes := stateBytes(t, ref)
+
+	for _, world := range []int{2, 4} {
+		world := world
+		t.Run(fmt.Sprintf("world=%d", world), func(t *testing.T) {
+			statsBy, bytesBy := runWorld(t, world, epochs, nil)
+			for r := 0; r < world; r++ {
+				got := zeroSeconds(statsBy[r])
+				if len(got) != len(wantStats) {
+					t.Fatalf("rank %d: %d epochs, want %d", r, len(got), len(wantStats))
+				}
+				for e := range got {
+					if got[e] != wantStats[e] {
+						t.Errorf("rank %d epoch %d stats diverge:\n got %+v\nwant %+v", r, e, got[e], wantStats[e])
+					}
+				}
+				if !bytes.Equal(bytesBy[r], wantBytes) {
+					t.Errorf("rank %d: serialized trainer state differs from single-process run (%d vs %d bytes)",
+						r, len(bytesBy[r]), len(wantBytes))
+				}
+			}
+		})
+	}
+}
+
+// TestDistPeerDeathTypedError covers the kill-one-worker-mid-epoch
+// satellite: when a peer dies between epochs, the survivor's next barrier
+// fails promptly with an error matching ErrPeer — no hang.
+func TestDistPeerDeathTypedError(t *testing.T) {
+	peers := sockets(t, 2)
+	opt := Options{ExchangeTimeout: 5 * time.Second}
+	type outcome struct {
+		rank int
+		err  error
+	}
+	results := make(chan outcome, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := core.NewTrainer(testConfig(2, r, peers))
+			if err != nil {
+				results <- outcome{r, err}
+				return
+			}
+			w, err := NewWorker(context.Background(), tr, opt)
+			if err != nil {
+				results <- outcome{r, err}
+				return
+			}
+			defer w.Close()
+			if _, err := w.RunEpoch(); err != nil { // epoch 1: both alive
+				results <- outcome{r, err}
+				return
+			}
+			if r == 1 { // rank 1 dies between epochs
+				w.Close()
+				results <- outcome{r, nil}
+				return
+			}
+			_, err = w.RunEpoch() // rank 0's epoch-2 barrier must fail
+			results <- outcome{r, err}
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("workers hung after peer death")
+	}
+	close(results)
+	for o := range results {
+		switch o.rank {
+		case 1:
+			if o.err != nil {
+				t.Errorf("rank 1 (the dying peer): unexpected error %v", o.err)
+			}
+		case 0:
+			if !errors.Is(o.err, ErrPeer) {
+				t.Errorf("rank 0: err = %v, want one matching ErrPeer", o.err)
+			}
+			var pe *PeerError
+			if !errors.As(o.err, &pe) || pe.Rank != 1 {
+				t.Errorf("rank 0: err = %v, want *PeerError naming rank 1", o.err)
+			}
+		}
+	}
+}
+
+// TestDistSilentPeerTimesOut pins the other failure shape: a peer that
+// stays connected but never sends (stalled, wedged) trips the exchange
+// deadline instead of blocking the survivor forever.
+func TestDistSilentPeerTimesOut(t *testing.T) {
+	peers := sockets(t, 2)
+	opt := Options{ExchangeTimeout: 1 * time.Second}
+	errCh := make(chan error, 1)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := core.NewTrainer(testConfig(2, r, peers))
+			if err != nil {
+				if r == 0 {
+					errCh <- err
+				}
+				return
+			}
+			w, err := NewWorker(context.Background(), tr, opt)
+			if err != nil {
+				if r == 0 {
+					errCh <- err
+				}
+				return
+			}
+			defer w.Close()
+			if r == 1 {
+				<-release // hold the connection open, never enter the barrier
+				return
+			}
+			_, err = w.RunEpoch()
+			errCh <- err
+		}(r)
+	}
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrPeer) {
+			t.Errorf("err = %v, want one matching ErrPeer", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("survivor did not time out on the silent peer")
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestEquivDistRestartResume covers the restart half of the satellite: a
+// fleet stopped after an epoch boundary and restarted from the shared
+// checkpoint directory finishes bit-identical to an uninterrupted run.
+func TestEquivDistRestartResume(t *testing.T) {
+	const world, epochs = 2, 3
+
+	ref, err := core.NewTrainer(testConfig(1, 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Train(epochs, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := stateBytes(t, ref)
+
+	ckDir := t.TempDir()
+	ck := func(rank int) core.CheckpointConfig {
+		return core.CheckpointConfig{Dir: ckDir, Every: 1}
+	}
+	// Leg 1: one epoch, then the whole fleet stops (the final save lands
+	// the epoch-1 checkpoint in the shared directory).
+	runWorld(t, world, 1, ck)
+
+	// Leg 2: fresh processes resume from the shared directory and finish.
+	peers := sockets(t, world)
+	bytesBy := make([][]byte, world)
+	errsBy := make([]error, world)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := core.NewTrainer(testConfig(world, r, peers))
+			if err == nil {
+				_, err = tr.ResumeLatest(ckDir)
+			}
+			if err == nil {
+				_, err = Train(context.Background(), tr, epochs-1, ck(r), Options{}, nil)
+			}
+			if err != nil {
+				errsBy[r] = err
+				return
+			}
+			bytesBy[r] = stateBytes(t, tr)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errsBy {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r := 0; r < world; r++ {
+		if !bytes.Equal(bytesBy[r], want) {
+			t.Errorf("rank %d: resumed state differs from uninterrupted single-process run", r)
+		}
+	}
+}
+
+// TestConnectRejectsFingerprintMismatch pins the handshake guard: peers
+// configured with different training parameters must refuse each other.
+func TestConnectRejectsFingerprintMismatch(t *testing.T) {
+	peers := sockets(t, 2)
+	opt := Options{DialTimeout: 10 * time.Second}
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := testConfig(2, r, peers)
+			if r == 1 {
+				cfg.Seed = 99 // diverging config
+			}
+			m, err := Connect(context.Background(), r, peers, Fingerprint(cfg), opt)
+			if err == nil {
+				m.Close()
+			}
+			errs[r] = err
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if !errors.Is(err, ErrPeer) {
+			t.Errorf("rank %d: err = %v, want a fingerprint refusal matching ErrPeer", r, err)
+		}
+	}
+}
+
+func TestShardCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := shardMsg{Epoch: 7, Rank: 2, Lo: 5, Hi: 8}
+	for i := m.Lo; i < m.Hi; i++ {
+		d := core.TrajDelta{
+			Index:          i,
+			Reward:         rng.NormFloat64(),
+			Improvement:    rng.NormFloat64(),
+			PctImprovement: rng.NormFloat64(),
+			Inspections:    rng.Intn(100),
+			Rejections:     rng.Intn(50),
+		}
+		for s := 0; s < rng.Intn(4)+1; s++ {
+			step := rl.Step{Action: rng.Intn(2), LogP: rng.NormFloat64()}
+			for f := 0; f < 6; f++ {
+				step.Obs = append(step.Obs, rng.NormFloat64())
+			}
+			d.Steps = append(d.Steps, step)
+		}
+		m.Deltas = append(m.Deltas, d)
+	}
+	got, err := decodeShard(encodeShard(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != m.Epoch || got.Rank != m.Rank || got.Lo != m.Lo || got.Hi != m.Hi {
+		t.Fatalf("header round trip: got %+v", got)
+	}
+	if len(got.Deltas) != len(m.Deltas) {
+		t.Fatalf("%d deltas, want %d", len(got.Deltas), len(m.Deltas))
+	}
+	for i := range m.Deltas {
+		a, b := m.Deltas[i], got.Deltas[i]
+		if a.Index != b.Index || a.Reward != b.Reward || a.Improvement != b.Improvement ||
+			a.PctImprovement != b.PctImprovement || a.Inspections != b.Inspections || a.Rejections != b.Rejections {
+			t.Errorf("delta %d scalars diverge: %+v vs %+v", i, a, b)
+		}
+		if len(a.Steps) != len(b.Steps) {
+			t.Fatalf("delta %d: %d steps, want %d", i, len(b.Steps), len(a.Steps))
+		}
+		for j := range a.Steps {
+			if a.Steps[j].Action != b.Steps[j].Action || a.Steps[j].LogP != b.Steps[j].LogP ||
+				!floatsEqual(a.Steps[j].Obs, b.Steps[j].Obs) {
+				t.Errorf("delta %d step %d diverges", i, j)
+			}
+		}
+	}
+	// Truncated payloads must fail, never mis-decode.
+	enc := encodeShard(m)
+	for _, cut := range []int{1, len(enc) / 2, len(enc) - 1} {
+		if _, err := decodeShard(enc[:cut]); err == nil {
+			t.Errorf("decode of %d/%d bytes succeeded", cut, len(enc))
+		}
+	}
+}
+
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReduceValidation pins the reducer's refusal of every malformed
+// cover: wrong epoch, duplicate rank, wrong shard bounds, short shard,
+// mis-indexed delta.
+func TestReduceValidation(t *testing.T) {
+	const batch, world, epoch = 6, 2, 3
+	mkShard := func(rank int) shardMsg {
+		lo, hi := core.ShardRange(batch, world, rank)
+		m := shardMsg{Epoch: epoch, Rank: rank, Lo: lo, Hi: hi}
+		for i := lo; i < hi; i++ {
+			m.Deltas = append(m.Deltas, core.TrajDelta{Index: i})
+		}
+		return m
+	}
+	good := func() []shardMsg { return []shardMsg{mkShard(0), mkShard(1)} }
+
+	if deltas, err := Reduce(batch, world, epoch, good()); err != nil {
+		t.Fatal(err)
+	} else if len(deltas) != batch {
+		t.Fatalf("reduced %d deltas, want %d", len(deltas), batch)
+	}
+	// Arrival order must not matter.
+	if _, err := Reduce(batch, world, epoch, []shardMsg{mkShard(1), mkShard(0)}); err != nil {
+		t.Fatalf("reversed arrival order rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func([]shardMsg) []shardMsg
+	}{
+		{"missing shard", func(s []shardMsg) []shardMsg { return s[:1] }},
+		{"stale epoch", func(s []shardMsg) []shardMsg { s[1].Epoch = epoch - 1; return s }},
+		{"duplicate rank", func(s []shardMsg) []shardMsg { s[1] = s[0]; return s }},
+		{"wrong bounds", func(s []shardMsg) []shardMsg { s[1].Lo--; return s }},
+		{"short shard", func(s []shardMsg) []shardMsg { s[1].Deltas = s[1].Deltas[:1]; return s }},
+		{"mis-indexed delta", func(s []shardMsg) []shardMsg { s[0].Deltas[0].Index = 99; return s }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Reduce(batch, world, epoch, tc.mut(good())); err == nil {
+				t.Error("malformed cover accepted")
+			}
+		})
+	}
+}
+
+// TestShardRangeCovers sanity-checks the canonical split the reducer and
+// every worker rely on.
+func TestShardRangeCovers(t *testing.T) {
+	for _, tc := range []struct{ batch, world int }{{4, 2}, {5, 2}, {100, 4}, {7, 7}, {3, 2}} {
+		prev := 0
+		for r := 0; r < tc.world; r++ {
+			lo, hi := core.ShardRange(tc.batch, tc.world, r)
+			if lo != prev || hi < lo {
+				t.Errorf("ShardRange(%d, %d, %d) = [%d, %d), want lo %d", tc.batch, tc.world, r, lo, hi, prev)
+			}
+			prev = hi
+		}
+		if prev != tc.batch {
+			t.Errorf("ShardRange(%d, %d, *) covers %d indices", tc.batch, tc.world, prev)
+		}
+	}
+}

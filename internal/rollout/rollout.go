@@ -85,6 +85,16 @@ type Config struct {
 	// trace ring under the same ID derivation, so the deterministic-identity
 	// guarantee carries over unchanged.
 	Ring *obs.TraceRing
+
+	// SlotBase offsets every slot identity the run exposes: Pending.Slot,
+	// episode span IDs and slot attributes all report SlotBase+i for the
+	// i-th episode of this call. A distributed trainer rolling out the
+	// trajectory shard [lo, hi) passes SlotBase=lo so each episode keeps
+	// its global trajectory index — the key its RNG stream, step log and
+	// flight records are derived from — no matter which process runs it.
+	// Zero (the single-process default) leaves slots equal to episode
+	// positions.
+	SlotBase int
 }
 
 // tracing reports whether any span sink is attached.
@@ -129,7 +139,7 @@ func Run(eps []Episode, cfg Config) ([]sim.Result, Report, error) {
 		for i := range eps {
 			eps[i].Cfg.Spans = cfg.Spans
 			eps[i].Cfg.Ring = cfg.Ring
-			eps[i].Cfg.SpanParent = obs.DeriveSpanID(uint64(cfg.SpanRoot), uint64(i))
+			eps[i].Cfg.SpanParent = obs.DeriveSpanID(uint64(cfg.SpanRoot), uint64(cfg.SlotBase+i))
 		}
 	}
 	workers := ResolveWorkers(cfg.Workers)
@@ -196,14 +206,14 @@ func runSequential(eps []Episode, cfg Config, results []sim.Result, errs []error
 			errs[i] = err
 		} else {
 			for !done {
-				pending[0] = Pending{Slot: i, State: obsState}
+				pending[0] = Pending{Slot: cfg.SlotBase + i, State: obsState}
 				cfg.Decide(pending, rejects)
 				obsState, done = env.Step(rejects[0])
 			}
 			results[i] = ownResult(env.Result())
 		}
 		if cfg.tracing() && errs[i] == nil {
-			endEpisodeSpan(&cfg, esp, i, len(eps[i].Jobs), env.Now(), &results[i])
+			endEpisodeSpan(&cfg, esp, cfg.SlotBase+i, len(eps[i].Jobs), env.Now(), &results[i])
 		}
 		rep.EpisodeSeconds[i] = time.Since(t0).Seconds()
 	}
@@ -244,7 +254,7 @@ func runWaves(eps []Episode, cfg Config, workers int, results []sim.Result, errs
 			}
 			results[i], errs[i] = r, err
 			if espans != nil && err == nil {
-				endEpisodeSpan(&cfg, espans[i], i, len(eps[i].Jobs), seqEnvs[w].Now(), &results[i])
+				endEpisodeSpan(&cfg, espans[i], cfg.SlotBase+i, len(eps[i].Jobs), seqEnvs[w].Now(), &results[i])
 			}
 		}
 		rep.EpisodeSeconds[i] += time.Since(t0).Seconds()
@@ -260,7 +270,7 @@ func runWaves(eps []Episode, cfg Config, workers int, results []sim.Result, errs
 		if done[i] {
 			results[i] = envs[i].Result()
 			if espans != nil {
-				endEpisodeSpan(&cfg, espans[i], i, len(eps[i].Jobs), envs[i].Now(), &results[i])
+				endEpisodeSpan(&cfg, espans[i], cfg.SlotBase+i, len(eps[i].Jobs), envs[i].Now(), &results[i])
 			}
 			continue
 		}
@@ -272,7 +282,7 @@ func runWaves(eps []Episode, cfg Config, workers int, results []sim.Result, errs
 	for len(live) > 0 {
 		pending = pending[:0]
 		for _, i := range live {
-			pending = append(pending, Pending{Slot: i, State: states[i]})
+			pending = append(pending, Pending{Slot: cfg.SlotBase + i, State: states[i]})
 		}
 		rejects = rejects[:len(pending)]
 		cfg.Decide(pending, rejects)
@@ -291,7 +301,7 @@ func runWaves(eps []Episode, cfg Config, workers int, results []sim.Result, errs
 			if done[i] {
 				results[i] = envs[i].Result()
 				if espans != nil {
-					endEpisodeSpan(&cfg, espans[i], i, len(eps[i].Jobs), envs[i].Now(), &results[i])
+					endEpisodeSpan(&cfg, espans[i], cfg.SlotBase+i, len(eps[i].Jobs), envs[i].Now(), &results[i])
 				}
 			} else {
 				keep = append(keep, i)

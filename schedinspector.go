@@ -33,10 +33,12 @@
 package schedinspector
 
 import (
+	"context"
 	"io"
 	"math/rand"
 
 	"schedinspector/internal/core"
+	"schedinspector/internal/dist"
 	"schedinspector/internal/metrics"
 	"schedinspector/internal/obs"
 	"schedinspector/internal/sched"
@@ -147,12 +149,43 @@ type (
 	// CheckpointConfig enables periodic durable checkpoints during
 	// Trainer.TrainCtx.
 	CheckpointConfig = core.CheckpointConfig
+
+	// DistOptions parameterizes the DD-PPO-style multi-process engine's
+	// transport and telemetry (see TrainDistributed).
+	DistOptions = dist.Options
+	// DistMetrics publishes per-epoch exchange latency/volume, straggler
+	// wait and peer-failure counters into a MetricsRegistry.
+	DistMetrics = dist.Metrics
 )
 
 // ErrInterrupted is returned (wrapped) by Trainer.TrainCtx when training
 // stopped early because its context was canceled; a final checkpoint has
 // been written when checkpointing is configured.
 var ErrInterrupted = core.ErrInterrupted
+
+// Distributed-training errors: a dead/stalled/misconfigured peer matches
+// ErrDistPeer (surviving workers fail typed instead of hanging), and a
+// post-apply replica digest mismatch matches ErrDistDiverged.
+var (
+	ErrDistPeer     = dist.ErrPeer
+	ErrDistDiverged = dist.ErrDiverged
+)
+
+// TrainDistributed runs epochs of coordinator-less multi-process training:
+// every worker process calls it with an identically-configured Trainer
+// (TrainConfig.World, Rank and Peers set; only Rank differs), rolls out
+// its shard of each epoch's trajectory batch, exchanges per-trajectory
+// deltas with all peers, and applies the identical PPO update — so every
+// replica's weights and Adam state stay bit-identical to a single-process
+// Trainer.Train on the same seed and config. With World <= 1 it is
+// exactly Trainer.TrainCtx. Checkpointing and interruption follow the
+// TrainCtx contract; periodic saves are written by rank 0 only.
+func TrainDistributed(ctx context.Context, t *Trainer, epochs int, ck CheckpointConfig, opt DistOptions, cb func(EpochStats)) ([]EpochStats, error) {
+	return dist.Train(ctx, t, epochs, ck, opt, cb)
+}
+
+// NewDistMetrics registers the distributed-engine metric family on r.
+func NewDistMetrics(r *MetricsRegistry) *DistMetrics { return dist.NewMetrics(r) }
 
 // Metrics.
 const (
