@@ -14,7 +14,7 @@ FUZZTIME ?= 30s
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags '-X schedinspector/internal/version.Version=$(VERSION)'
 
-.PHONY: all build bin vet fmt-check test test-short race bench bench-env bench-check bench-serve bench-serve-check equiv fuzz-smoke trace-smoke dist-smoke verify
+.PHONY: all build bin vet fmt-check test test-short race bench bench-env bench-check bench-serve bench-serve-check equiv fuzz-smoke trace-smoke dist-smoke loop-smoke verify
 
 all: build
 
@@ -40,7 +40,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/serve/ ./internal/rollout/ ./internal/ckpt/ ./internal/explain/ ./internal/dist/
+	$(GO) test -race ./internal/obs/ ./internal/serve/ ./internal/rollout/ ./internal/ckpt/ ./internal/explain/ ./internal/dist/ ./internal/online/
 	$(GO) test -race -short ./internal/core/ ./internal/rl/ ./internal/sim/
 
 bench: bench-env
@@ -127,6 +127,32 @@ dist-smoke: bin
 	cmp $$tmp/single.gob $$tmp/rank1.gob; \
 	echo "dist-smoke: 2-worker model bytes identical to single-process"; \
 	rm -rf $$tmp
+
+# loop-smoke proves the online continual-learning loop end to end at the
+# process level: train a tiny model, serve it with inspectord -online on a
+# sub-second cycle, drive synthetic /v1/inspect traffic through it, and
+# require the loop to tail the decisions, retrain a candidate, shadow-
+# evaluate it, and reach a clean promote-or-reject verdict — with serving
+# uninterrupted throughout and the generation gauge consistent between
+# /metrics and /v1/online/status (cmd/loopsmoke holds the assertions).
+# SMOKEDIR overrides the scratch dir so CI can upload the flight trace and
+# final status JSON as failure artifacts; set KEEP_SMOKEDIR=1 to skip the
+# cleanup.
+LOOPSMOKE_ADDR ?= 127.0.0.1:18642
+loop-smoke: bin
+	@set -e; dir="$(SMOKEDIR)"; [ -n "$$dir" ] || dir=$$(mktemp -d); mkdir -p "$$dir"; \
+	./bin/schedinspect train -trace SDSC-SP2 -jobs 2000 \
+		-epochs 1 -batch 4 -seqlen 64 -seed 42 -model $$dir/model.gob; \
+	./bin/inspectord -model $$dir/model.gob -addr $(LOOPSMOKE_ADDR) -seed 7 \
+		-online -online-interval 500ms -online-min-window 256 \
+		-online-dir $$dir/promoted -flight $$dir/serve.ftrace \
+		>$$dir/inspectord.log 2>&1 & daemon=$$!; \
+	trap 'kill $$daemon 2>/dev/null; wait $$daemon 2>/dev/null' EXIT; \
+	rc=0; ./bin/loopsmoke -addr http://$(LOOPSMOKE_ADDR) -seed 1 \
+		-status-out $$dir/online-status.json || rc=$$?; \
+	kill $$daemon 2>/dev/null; wait $$daemon 2>/dev/null || true; trap - EXIT; \
+	if [ $$rc -ne 0 ]; then echo "--- inspectord.log ---"; cat $$dir/inspectord.log; exit $$rc; fi; \
+	[ -n "$(KEEP_SMOKEDIR)$(SMOKEDIR)" ] || rm -rf $$dir
 
 # fuzz-smoke gives every fuzz target a short budget (override with
 # FUZZTIME=...) — enough to catch shallow parser/decoder regressions on

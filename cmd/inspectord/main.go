@@ -19,6 +19,9 @@
 //	GET  /v1/trace/snapshot — dump the in-memory binary flight-recorder
 //	                        ring (JSONL by default, ?format=ftrace for the
 //	                        raw binary image)
+//	GET  /v1/online/status — continual-learning loop state machine (only
+//	                        with -online: window fill, retrains, shadow-eval
+//	                        scores, promotions/rejections/rollbacks)
 //	GET  /debug/pprof     — CPU/heap/goroutine profiling (only with -pprof)
 //
 // -model accepts either a saved model (schedinspect train's model.gob) or
@@ -55,6 +58,7 @@ import (
 
 	"schedinspector/internal/core"
 	"schedinspector/internal/obs"
+	"schedinspector/internal/online"
 	"schedinspector/internal/serve"
 	"schedinspector/internal/version"
 )
@@ -72,6 +76,12 @@ func main() {
 		drainFor   = flag.Duration("drain", 10*time.Second, "graceful-shutdown timeout for in-flight requests")
 		maxWave    = flag.Int("max-wave", serve.DefaultMaxWave, "max /v1/inspect decisions coalesced into one batched forward")
 		waveWait   = flag.Duration("wave-timeout", 0, "how long the collector waits for stragglers to fill a decision wave (0 = forward immediately)")
+
+		onlineOn        = flag.Bool("online", false, "enable the online continual-learning loop (tail decisions, retrain, shadow-evaluate, promote)")
+		onlineInterval  = flag.Duration("online-interval", 30*time.Second, "online loop cycle interval")
+		onlineMargin    = flag.Float64("online-margin", 0, "shadow-eval improvement a candidate must clear over the serving model to be promoted")
+		onlineMinWindow = flag.Int("online-min-window", 512, "decisions required in the replay window before retraining starts")
+		onlineDir       = flag.String("online-dir", "", "persist promoted candidates as checkpoints in this directory (servable via -model on restart)")
 	)
 	flag.Parse()
 
@@ -153,6 +163,33 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", h)
+
+	// The online continual-learning loop: tail the flight ring into replay
+	// windows, fine-tune candidates off the serving path, shadow-evaluate
+	// against the serving model, and promote through the swap path. Every
+	// failure mode keeps the current model serving.
+	var stopOnline func()
+	if *onlineOn {
+		loop, err := online.New(online.Config{
+			Source:      h.TraceRing(),
+			Serving:     h,
+			Registry:    h.Registry(),
+			Interval:    *onlineInterval,
+			Margin:      *onlineMargin,
+			MinWindow:   *onlineMinWindow,
+			PromotedDir: *onlineDir,
+			Seed:        *seed,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("inspectord: %v", err)
+		}
+		mux.Handle("/v1/online/status", loop.StatusHandler())
+		stopOnline = loop.Start(context.Background())
+		log.Printf("inspectord: online continual learning enabled (interval %v, margin %+g, min window %d)",
+			*onlineInterval, *onlineMargin, *onlineMinWindow)
+	}
+
 	if *pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -185,6 +222,11 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("inspectord: %v", err)
+		}
+		// Stop the online loop (cancelling any in-flight retrain) before
+		// tearing down the decision-wave collector it promotes through.
+		if stopOnline != nil {
+			stopOnline()
 		}
 		// The HTTP server has drained; stop the decision-wave collector.
 		h.Close()

@@ -1,0 +1,251 @@
+// Command loopsmoke is the traffic driver and assertion half of the
+// `make loop-smoke` gate: against an inspectord started with -online, it
+// generates synthetic /v1/inspect traffic, then polls /v1/online/status
+// until the continual-learning loop has demonstrably tailed the decisions,
+// retrained a candidate, shadow-evaluated it, and reached a verdict —
+// promoted (the generation gauge on /metrics bumps, serving uninterrupted)
+// or cleanly rejected. Any other terminal state, or silence until -timeout,
+// fails the run. The final status JSON is written to -status-out so CI can
+// attach it as an artifact.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"schedinspector/internal/online"
+)
+
+type inspectReq struct {
+	Job struct {
+		Wait  float64 `json:"wait"`
+		Est   float64 `json:"est"`
+		Procs int     `json:"procs"`
+	} `json:"job"`
+	FreeProcs  int             `json:"free_procs"`
+	TotalProcs int             `json:"total_procs"`
+	Queue      []inspectQueued `json:"queue"`
+}
+
+type inspectQueued struct {
+	Wait  float64 `json:"wait"`
+	Est   float64 `json:"est"`
+	Procs int     `json:"procs"`
+}
+
+func main() {
+	var (
+		base      = flag.String("addr", "http://127.0.0.1:8642", "inspectord base URL")
+		requests  = flag.Int("requests", 1500, "synthetic /v1/inspect requests in the initial burst")
+		timeout   = flag.Duration("timeout", 120*time.Second, "deadline for the loop to reach a verdict")
+		statusOut = flag.String("status-out", "", "write the final /v1/online/status JSON here (CI artifact)")
+		seed      = flag.Int64("seed", 1, "traffic generator seed")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	fail := func(format string, args ...any) {
+		// Best-effort artifact before exiting: the status body is the
+		// primary debugging surface for a failed gate.
+		if st, err := fetchStatus(client, *base); err == nil {
+			dumpStatus(*statusOut, st)
+			fmt.Fprintf(os.Stderr, "loopsmoke: last status: %+v\n", st)
+		}
+		fmt.Fprintf(os.Stderr, "loopsmoke: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	if err := waitHealthy(client, *base, 30*time.Second); err != nil {
+		fail("daemon never became healthy: %v", err)
+	}
+	st, err := fetchStatus(client, *base)
+	if err != nil {
+		fail("GET /v1/online/status: %v (was inspectord started with -online?)", err)
+	}
+	if !st.Enabled {
+		fail("online loop reports disabled")
+	}
+	startGen := st.ServingGeneration
+	if mg, err := metricGauge(client, *base, "schedinspector_model_generation"); err != nil {
+		fail("reading generation gauge: %v", err)
+	} else if int64(mg) != startGen {
+		fail("generation gauge %v disagrees with status %d at start", mg, startGen)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	sent, errs := 0, 0
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := postInspect(client, *base, rng); err != nil {
+				errs++
+				fail("inspect request %d failed (serving interrupted?): %v", sent, err)
+			}
+			sent++
+		}
+	}
+	send(*requests)
+	fmt.Printf("loopsmoke: %d decisions served, waiting for the loop (timeout %v)\n", sent, *timeout)
+
+	deadline := time.Now().Add(*timeout)
+	for {
+		st, err = fetchStatus(client, *base)
+		if err != nil {
+			fail("status poll: %v", err)
+		}
+		if st.Retrains > 0 && st.ShadowEvals > 0 && st.Promotions+st.Rejections > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail("loop reached no verdict before timeout: retrains=%d shadow_evals=%d promotions=%d rejections=%d window=%d/%d last_error=%q",
+				st.Retrains, st.ShadowEvals, st.Promotions, st.Rejections,
+				st.WindowRecords, st.MinWindow, st.LastError)
+		}
+		// Serving must stay uninterrupted while the loop trains/evaluates.
+		send(25)
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Verdict checks: a promotion must move the generation gauge forward
+	// and stay consistent between /metrics and the status endpoint; a
+	// rejection must leave the serving generation alone (modulo operator
+	// reloads, which don't happen in this harness).
+	if st.RetrainFailures > 0 {
+		fail("retrain failures during smoke: %+v", st)
+	}
+	gauge, err := metricGauge(client, *base, "schedinspector_model_generation")
+	if err != nil {
+		fail("reading generation gauge: %v", err)
+	}
+	if int64(gauge) != st.ServingGeneration {
+		// The loop may have completed another cycle between the two reads;
+		// refetch once before calling it an inconsistency.
+		if st, err = fetchStatus(client, *base); err != nil {
+			fail("status refetch: %v", err)
+		}
+		if int64(gauge) != st.ServingGeneration {
+			fail("generation gauge %v disagrees with status %d", gauge, st.ServingGeneration)
+		}
+	}
+	verdict := "rejected"
+	if st.Promotions > 0 {
+		verdict = "promoted"
+		if st.ServingGeneration <= startGen {
+			fail("promotion did not bump the serving generation: %d -> %d", startGen, st.ServingGeneration)
+		}
+	} else if st.ServingGeneration != startGen {
+		fail("rejection must not move the generation: %d -> %d", startGen, st.ServingGeneration)
+	}
+
+	// Post-verdict traffic: the swap (or non-swap) must not have disturbed
+	// the serving path.
+	send(100)
+	dumpStatus(*statusOut, st)
+	fmt.Printf("loopsmoke: PASS — candidate trained (%d epochs), shadow-evaluated (cand %.4f vs serving %.4f, margin %g) and %s; generation %d, %d decisions served, 0 failures\n",
+		st.RetrainEpochs, st.LastCandidateScore, st.LastServingScore, st.Margin, verdict, st.ServingGeneration, sent)
+}
+
+func waitHealthy(c *http.Client, base string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := c.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("healthz status %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+func fetchStatus(c *http.Client, base string) (online.Status, error) {
+	var st online.Status
+	resp, err := c.Get(base + "/v1/online/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func postInspect(c *http.Client, base string, rng *rand.Rand) error {
+	var req inspectReq
+	req.Job.Wait = float64(rng.Intn(3600))
+	req.Job.Est = float64(60 + rng.Intn(7200))
+	req.Job.Procs = 1 + rng.Intn(32)
+	req.TotalProcs = 128
+	req.FreeProcs = rng.Intn(129)
+	req.Queue = []inspectQueued{{Wait: float64(rng.Intn(600)), Est: 600, Procs: 1 + rng.Intn(8)}}
+	body, _ := json.Marshal(req)
+	resp, err := c.Post(base+"/v1/inspect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Reject     *bool    `json:"reject"`
+		RejectProb *float64 `json:"reject_prob"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("torn response body: %w", err)
+	}
+	if out.Reject == nil || out.RejectProb == nil {
+		return fmt.Errorf("incomplete verdict: %+v", out)
+	}
+	return nil
+}
+
+// metricGauge scans the Prometheus text exposition for a bare (unlabelled)
+// gauge value.
+func metricGauge(c *http.Client, base, name string) (float64, error) {
+	resp, err := c.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		return strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name)), 64)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}
+
+func dumpStatus(path string, st online.Status) {
+	if path == "" {
+		return
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loopsmoke: writing %s: %v\n", path, err)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -30,6 +32,7 @@ import (
 	"schedinspector/internal/core"
 	"schedinspector/internal/dist"
 	"schedinspector/internal/explain"
+	"schedinspector/internal/obs"
 	"schedinspector/internal/version"
 )
 
@@ -184,7 +187,7 @@ func cmdTrain(args []string, worker bool) error {
 	resume := fs.Bool("resume", false, "resume from the latest valid checkpoint in -checkpoint-dir")
 	flight, flightFormat := flightFlags(fs)
 	var rank, world *int
-	var peersList, network *string
+	var peersList, network, metricsAddr *string
 	var dialTimeout, exchangeTimeout *time.Duration
 	if worker {
 		rank = fs.Int("rank", 0, "this worker's rank in [0, world)")
@@ -193,6 +196,7 @@ func cmdTrain(args []string, worker bool) error {
 		network = fs.String("network", "", "peer network: tcp, unix, or empty to infer per address")
 		dialTimeout = fs.Duration("dial-timeout", 30*time.Second, "bound on establishing the peer mesh")
 		exchangeTimeout = fs.Duration("exchange-timeout", 10*time.Minute, "bound on each per-epoch exchange barrier; must cover the slowest peer's rollout")
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics (dist exchange + rollout telemetry) on this address for a training-fleet dashboard")
 	}
 	fs.Parse(args)
 
@@ -227,6 +231,30 @@ func cmdTrain(args []string, worker bool) error {
 	}
 	if cfg.RewardKind, err = parseReward(*reward); err != nil {
 		return err
+	}
+	// -metrics-addr turns a worker into a scrape target: the dist exchange
+	// metrics plus the rollout telemetry its trainer already emits, on the
+	// same Prometheus text endpoint inspectord serves. The listener is
+	// opened before training so a bad address fails fast.
+	var distMetrics *dist.Metrics
+	if worker && *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		distMetrics = dist.NewMetrics(reg)
+		cfg.Metrics = core.NewRolloutMetrics(reg)
+		version.Register(reg, *features)
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics-addr: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() {
+			if serr := http.Serve(ln, mux); serr != nil && !errors.Is(serr, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", serr)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "rank %d serving /metrics on %s\n", *rank, ln.Addr())
 	}
 	if *telemetry != "" {
 		f, err := os.Create(*telemetry)
@@ -289,6 +317,7 @@ func cmdTrain(args []string, worker bool) error {
 			Network:         *network,
 			DialTimeout:     *dialTimeout,
 			ExchangeTimeout: *exchangeTimeout,
+			Metrics:         distMetrics,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			},

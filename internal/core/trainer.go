@@ -212,6 +212,25 @@ type Trainer struct {
 // NewTrainer validates the configuration and builds a trainer with a fresh
 // untrained inspector.
 func NewTrainer(cfg TrainConfig) (*Trainer, error) {
+	return newTrainer(cfg, nil)
+}
+
+// NewTrainerFrom validates the configuration and builds a trainer
+// warm-started from an existing inspector: the trainer clones warm's
+// weights, feature mode, and — critically — its normalizer, so the feature
+// contract the model was originally trained under is preserved even though
+// cfg.Trace (e.g. a replay window reconstructed from live decisions) would
+// yield different normalization statistics. cfg.FeatureMode must match
+// warm.Mode. Optimizer state starts cold: PPO's Adam moments are not part
+// of the inspector, so fine-tuning begins with fresh moments at cfg.LR.
+func NewTrainerFrom(cfg TrainConfig, warm *Inspector) (*Trainer, error) {
+	if warm == nil {
+		return nil, fmt.Errorf("core: NewTrainerFrom requires a warm-start inspector")
+	}
+	return newTrainer(cfg, warm)
+}
+
+func newTrainer(cfg TrainConfig, warm *Inspector) (*Trainer, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Trace == nil {
 		return nil, fmt.Errorf("core: TrainConfig.Trace is required")
@@ -232,8 +251,17 @@ func NewTrainer(cfg TrainConfig) (*Trainer, error) {
 			split, cfg.SeqLen)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	norm := NewNormalizer(workload.ComputeStats(cfg.Trace), cfg.Metric, cfg.MaxRejections, cfg.MaxInterval)
-	insp := NewInspector(rng, cfg.FeatureMode, norm, cfg.Hidden)
+	var insp *Inspector
+	if warm != nil {
+		if warm.Mode != cfg.FeatureMode {
+			return nil, fmt.Errorf("core: warm-start inspector uses feature mode %q, config wants %q",
+				warm.Mode, cfg.FeatureMode)
+		}
+		insp = warm.Clone(rng)
+	} else {
+		norm := NewNormalizer(workload.ComputeStats(cfg.Trace), cfg.Metric, cfg.MaxRejections, cfg.MaxInterval)
+		insp = NewInspector(rng, cfg.FeatureMode, norm, cfg.Hidden)
+	}
 	if cfg.Flight != nil {
 		cfg.Flight.SetMeta(cfg.FeatureMode.FeatureNames(), cfg.FeatureMode.String(), cfg.MaxRejections)
 	}

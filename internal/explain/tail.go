@@ -1,0 +1,49 @@
+package explain
+
+import (
+	"bytes"
+	"sort"
+
+	"schedinspector/internal/obs"
+)
+
+// Tailing a live flight-recorder ring. The serving path stamps every
+// decision record with a process-lifetime sequence number (Seq), so a
+// reader that remembers the newest Seq it has consumed can poll
+// TraceRing.Snapshot() images and extract exactly the decisions it has not
+// seen yet, regardless of how the ring's eviction window moved between
+// polls. This is the ingestion primitive behind the online
+// continual-learning loop: replay windows are built from successive tails
+// of the same ring the operator inspects via /v1/trace/snapshot.
+
+// TailDecisions decodes a self-contained .ftrace image (as produced by
+// obs.TraceRing.Snapshot) and returns the decision records with
+// Seq > afterSeq, in ascending Seq order, along with the newest Seq seen
+// anywhere in the image (afterSeq when the image holds no decisions).
+//
+// Corruption is tolerated the way ReadFTrace tolerates it: the decoded
+// prefix is returned alongside the error, so a torn tail yields the
+// records before the tear rather than nothing. Callers should count the
+// error but may still consume the records.
+func TailDecisions(image []byte, afterSeq int) ([]obs.ExplainRecord, int, error) {
+	tr, err := ReadFTrace(bytes.NewReader(image))
+	newest := afterSeq
+	if tr == nil {
+		return nil, newest, err
+	}
+	var out []obs.ExplainRecord
+	for i := range tr.Records {
+		seq := tr.Records[i].Seq
+		if seq > newest {
+			newest = seq
+		}
+		if seq > afterSeq {
+			out = append(out, tr.Records[i])
+		}
+	}
+	// ReadFTrace sorts by (Epoch, Traj, Seq); a serving ring emits
+	// everything under epoch/traj 0 so that is already Seq order, but keep
+	// the contract independent of the writer.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, newest, err
+}

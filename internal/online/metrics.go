@@ -1,0 +1,63 @@
+package online
+
+import "schedinspector/internal/obs"
+
+// The schedinspector_online_* family mirrors the state machine onto
+// /metrics so the loop is operable from a dashboard alone: window fill,
+// retrain throughput, shadow-eval scores, and the
+// promotion/rejection/rollback ledger.
+
+type metricsSet struct {
+	state           *obs.Gauge
+	windowRecords   *obs.Gauge
+	tailed          *obs.Counter
+	corruptWindows  *obs.Counter
+	cycles          *obs.Counter
+	retrains        *obs.Counter
+	retrainEpochs   *obs.Counter
+	retrainFailures *obs.Counter
+	shadowEvals     *obs.Counter
+	candScore       *obs.Gauge
+	servScore       *obs.Gauge
+	promotions      *obs.Counter
+	rejections      *obs.Counter
+	rollbacks       *obs.Counter
+}
+
+func newMetricsSet(r *obs.Registry) *metricsSet {
+	if r == nil {
+		// A private registry keeps every metric pointer non-nil so the
+		// loop never branches on instrumentation.
+		r = obs.NewRegistry()
+	}
+	return &metricsSet{
+		state: r.Gauge("schedinspector_online_state",
+			"Online loop state: 0 idle, 1 tailing, 2 collecting, 3 retraining, 4 shadow-eval, 5 promoting.", nil),
+		windowRecords: r.Gauge("schedinspector_online_window_records",
+			"Decisions currently in the replay window.", nil),
+		tailed: r.Counter("schedinspector_online_tailed_decisions_total",
+			"Decisions tailed from the flight ring into the replay window.", nil),
+		corruptWindows: r.Counter("schedinspector_online_corrupt_windows_total",
+			"Ring images or window reconstructions that failed to decode/validate (the loop kept serving).", nil),
+		cycles: r.Counter("schedinspector_online_cycles_total",
+			"Online loop cycles started.", nil),
+		retrains: r.Counter("schedinspector_online_retrains_total",
+			"Candidate retrains started.", nil),
+		retrainEpochs: r.Counter("schedinspector_online_retrain_epochs_total",
+			"Fine-tuning epochs completed across all retrains.", nil),
+		retrainFailures: r.Counter("schedinspector_online_retrain_failures_total",
+			"Retrains that errored or were interrupted (candidate discarded).", nil),
+		shadowEvals: r.Counter("schedinspector_online_shadow_evals_total",
+			"Shadow evaluations run (candidate-vs-serving and rollback checks).", nil),
+		candScore: r.Gauge("schedinspector_online_candidate_score",
+			"Latest candidate shadow-eval score (mean relative improvement on the held-out window).", nil),
+		servScore: r.Gauge("schedinspector_online_serving_score",
+			"Latest serving-model shadow-eval score on the same held-out window.", nil),
+		promotions: r.Counter("schedinspector_online_promotions_total",
+			"Candidates promoted into serving.", nil),
+		rejections: r.Counter("schedinspector_online_rejections_total",
+			"Candidates rejected (margin not cleared, diverged, or shadow eval failed).", nil),
+		rollbacks: r.Counter("schedinspector_online_rollbacks_total",
+			"Promotions rolled back after regressing on a fresh holdout.", nil),
+	}
+}

@@ -1,0 +1,259 @@
+package online
+
+// The two loop-safety properties the issue pins under the race detector:
+//
+//   - Promotion under load: concurrent /v1/inspect traffic across online
+//     promotions must never observe a torn snapshot or mixed-generation
+//     explain metadata — every request serves 200, the generation only
+//     moves forward, and the flight ring image stays decodable end to end.
+//   - Kill mid-retrain: cancelling a retrain in flight leaves the serving
+//     model and the checkpoint directory byte-identical — the candidate
+//     is discarded before it can touch anything.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"schedinspector/internal/ckpt"
+	"schedinspector/internal/core"
+	"schedinspector/internal/explain"
+	"schedinspector/internal/serve"
+	"schedinspector/internal/workload"
+)
+
+func inspectBody(rng *rand.Rand) []byte {
+	var req serve.InspectRequest
+	req.Job.Wait = float64(rng.Intn(3600))
+	req.Job.Est = float64(60 + rng.Intn(7200))
+	req.Job.Procs = 1 + rng.Intn(32)
+	req.TotalProcs = 128
+	req.FreeProcs = rng.Intn(129)
+	req.Queue = []serve.QueueItem{{Wait: 60, Est: 600, Procs: 4}}
+	b, _ := json.Marshal(req)
+	return b
+}
+
+func TestPromotionUnderLoadRace(t *testing.T) {
+	h := serve.NewHandler(testInspector(1))
+	defer h.Close()
+
+	l, err := New(Config{
+		Source: h.TraceRing(), Serving: h,
+		MinWindow: 32, Registry: h.Registry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stub the expensive stages: the property under test is the promotion
+	// path's interaction with live traffic, not training quality. Each
+	// candidate is a freshly initialized model — distinct weights every
+	// generation.
+	var candSeed atomic.Int64
+	l.candidateFn = func(context.Context, *core.Inspector, *workload.Trace, int64) (*core.Inspector, *core.TrainerCheckpoint, error) {
+		return testInspector(100 + candSeed.Add(1)), nil, nil
+	}
+	// RunCycle scores the candidate first, then the serving model; the
+	// toggle hands the first call the winning score. In the rollback check
+	// the first call is the (promoted) serving model, so promotions are
+	// always confirmed and every second cycle promotes.
+	var scoreCalls int
+	l.scoreFn = func(*core.Inspector, *workload.Trace, int64) (float64, error) {
+		scoreCalls++
+		if scoreCalls%2 == 1 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+
+	const clients = 4
+	stop := make(chan struct{})
+	var failures atomic.Int64
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := httptest.NewRequest(http.MethodPost, "/v1/inspect", bytes.NewReader(inspectBody(rng)))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					failures.Add(1)
+					t.Errorf("inspect returned %d during promotion: %s", rec.Code, rec.Body)
+					return
+				}
+				var resp serve.InspectResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					failures.Add(1)
+					t.Errorf("torn response: %v", err)
+					return
+				}
+				served.Add(1)
+			}
+		}(int64(c))
+	}
+
+	_, startGen := h.Current()
+	deadline := time.Now().Add(30 * time.Second)
+	for l.Status().Promotions < 3 && time.Now().Before(deadline) {
+		l.RunCycle(context.Background())
+		time.Sleep(time.Millisecond) // let traffic land between cycles
+	}
+	close(stop)
+	wg.Wait()
+
+	st := l.Status()
+	if failures.Load() != 0 {
+		t.Fatalf("%d requests failed across promotions", failures.Load())
+	}
+	if st.Promotions < 3 {
+		t.Fatalf("expected several promotions under load, got %+v", st)
+	}
+	_, endGen := h.Current()
+	if endGen != startGen+int64(st.Promotions)+int64(st.Rollbacks) {
+		t.Fatalf("generation %d -> %d does not match %d promotions + %d rollbacks",
+			startGen, endGen, st.Promotions, st.Rollbacks)
+	}
+	if served.Load() == 0 {
+		t.Fatal("no traffic was served during the test")
+	}
+
+	// The flight ring must still decode cleanly after every swap re-emitted
+	// meta: no mixed-generation tear is visible to a reader.
+	if _, _, err := explain.TailDecisions(h.TraceRing().Snapshot(), -1); err != nil {
+		t.Fatalf("post-promotion ring image torn: %v", err)
+	}
+}
+
+// dirDigest hashes every file in dir (names + bytes) into one digest.
+func dirDigest(t *testing.T, dir string) string {
+	t.Helper()
+	sum := sha256.New()
+	var files []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(sum, "%s\n", f)
+		sum.Write(b)
+	}
+	return fmt.Sprintf("%x", sum.Sum(nil))
+}
+
+func TestKillMidRetrainLeavesServingUntouched(t *testing.T) {
+	h := serve.NewHandler(testInspector(1))
+	defer h.Close()
+
+	// A checkpoint directory with prior state, doubling as PromotedDir:
+	// the interrupted cycle must not add, remove, or rewrite anything.
+	dir := t.TempDir()
+	if err := ckpt.Write(filepath.Join(dir, ckpt.FileName(7)), 1, []byte("prior checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	before := dirDigest(t, dir)
+
+	// Fill the window through the real serving path.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/inspect", bytes.NewReader(inspectBody(rng)))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("seed traffic failed: %d", rec.Code)
+		}
+	}
+
+	l, err := New(Config{
+		Source: h.TraceRing(), Serving: h,
+		MinWindow: 128, Epochs: 3, Batch: 4, SeqLen: 16,
+		PromotedDir: dir, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the retrain mid-flight: cancel after the first of three epochs
+	// completes, so DriveEpochs has done real training work before the
+	// interrupt lands and the candidate is discarded.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	l.epochHook = func(int) { cancel() }
+	l.scoreFn = func(*core.Inspector, *workload.Trace, int64) (float64, error) {
+		t.Error("an interrupted retrain must never reach shadow eval")
+		return 0, nil
+	}
+
+	servingBefore, genBefore := h.Current()
+	// Concurrent traffic across the kill keeps the race detector honest.
+	stopTraffic := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		trng := rand.New(rand.NewSource(11))
+		for {
+			select {
+			case <-stopTraffic:
+				return
+			default:
+			}
+			req := httptest.NewRequest(http.MethodPost, "/v1/inspect", bytes.NewReader(inspectBody(trng)))
+			h.ServeHTTP(httptest.NewRecorder(), req)
+		}
+	}()
+
+	l.RunCycle(ctx)
+	close(stopTraffic)
+	wg.Wait()
+
+	st := l.Status()
+	if st.Retrains != 1 || st.RetrainFailures != 1 {
+		t.Fatalf("retrain was not interrupted: %+v", st)
+	}
+	if st.RetrainEpochs == 0 {
+		t.Fatalf("the kill must land mid-retrain, after real work: %+v", st)
+	}
+	servingAfter, genAfter := h.Current()
+	if servingAfter != servingBefore || genAfter != genBefore {
+		t.Fatalf("serving snapshot changed across an interrupted retrain: gen %d -> %d", genBefore, genAfter)
+	}
+	if after := dirDigest(t, dir); after != before {
+		t.Fatal("checkpoint directory changed across an interrupted retrain")
+	}
+	if st.Promotions != 0 || st.Rejections != 0 {
+		t.Fatalf("interrupted cycle must not reach a verdict: %+v", st)
+	}
+}

@@ -37,6 +37,16 @@ func (h *Handler) Swap(insp *core.Inspector) {
 	h.applySwap(insp)
 }
 
+// Current returns the inspector presently answering decisions and its
+// generation number. The pair is read from one atomic snapshot, so it is
+// always internally consistent even across concurrent swaps; the returned
+// inspector's weights are immutable (swaps install new models, they never
+// mutate the old one), so callers may evaluate or clone it freely.
+func (h *Handler) Current() (*core.Inspector, int64) {
+	s := h.snap.Load()
+	return s.insp, s.gen
+}
+
 // SetReloader installs the function the reload triggers call to produce a
 // replacement model (typically re-reading the model file from disk). Set
 // it once before serving; a nil reloader leaves /v1/admin/reload disabled.
