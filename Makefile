@@ -14,7 +14,7 @@ FUZZTIME ?= 30s
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags '-X schedinspector/internal/version.Version=$(VERSION)'
 
-.PHONY: all build bin vet fmt-check test test-short race bench bench-env bench-check bench-serve bench-serve-check equiv fuzz-smoke trace-smoke dist-smoke loop-smoke verify
+.PHONY: all build bin vet fmt-check test test-short race bench bench-env bench-check bench-serve bench-serve-check bench-fleet bench-fleet-check equiv fuzz-smoke trace-smoke dist-smoke loop-smoke fleet-smoke verify
 
 all: build
 
@@ -40,7 +40,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/obs/ ./internal/serve/ ./internal/rollout/ ./internal/ckpt/ ./internal/explain/ ./internal/dist/ ./internal/online/
+	$(GO) test -race ./internal/obs/ ./internal/serve/ ./internal/rollout/ ./internal/ckpt/ ./internal/explain/ ./internal/dist/ ./internal/online/ ./internal/fleet/
 	$(GO) test -race -short ./internal/core/ ./internal/rl/ ./internal/sim/
 
 bench: bench-env
@@ -74,6 +74,19 @@ bench-serve:
 bench-serve-check:
 	$(GO) test -run '^$$' -bench 'InspectWave|InspectMutex' -benchmem ./internal/serve/ \
 		| $(GO) run ./cmd/benchjson -check BENCH_serve.json -tolerance 0.25
+
+# bench-fleet runs the fleet-plane benchmarks (exposition parse, full
+# HTTP scrape, /v1/fleet aggregation) and archives the parsed results in
+# BENCH_fleet.json.
+bench-fleet:
+	$(GO) test -run '^$$' -bench 'Fleet' -benchmem ./internal/fleet/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_fleet.json
+
+# bench-fleet-check reruns the fleet benchmarks against the committed
+# BENCH_fleet.json baseline (advisory in CI, same as bench-serve-check).
+bench-fleet-check:
+	$(GO) test -run '^$$' -bench 'Fleet' -benchmem ./internal/fleet/ \
+		| $(GO) run ./cmd/benchjson -check BENCH_fleet.json -tolerance 0.25
 
 # equiv runs the golden equivalence suites that pin the Env/wave engines to
 # the verbatim seed implementations — the batched serving path to the
@@ -154,6 +167,53 @@ loop-smoke: bin
 	if [ $$rc -ne 0 ]; then echo "--- inspectord.log ---"; cat $$dir/inspectord.log; exit $$rc; fi; \
 	[ -n "$(KEEP_SMOKEDIR)$(SMOKEDIR)" ] || rm -rf $$dir
 
+# fleet-smoke proves the fleet observability plane end to end at the
+# process level: an inspectord running the online loop, two train-workers
+# exchanging deltas over unix sockets and exposing -metrics-addr, and a
+# `schedinspect fleet` daemon scraping all three. cmd/fleetsmoke drives
+# /v1/inspect traffic and holds the assertions: every target up with
+# derived rates, dist metrics aggregated across both workers, a windowed
+# histogram quantile, the rank-straggler rule evaluated against real
+# per-rank data, and at least one online candidate verdict surfaced
+# through /v1/online/history into /v1/fleet. The `-once` text mode runs
+# last as the exit-code check. SMOKEDIR/KEEP_SMOKEDIR as in loop-smoke.
+FLEETSMOKE_INSP ?= 127.0.0.1:18652
+FLEETSMOKE_W0 ?= 127.0.0.1:18653
+FLEETSMOKE_W1 ?= 127.0.0.1:18654
+FLEETSMOKE_ADDR ?= 127.0.0.1:18655
+FLEETSMOKE_TARGETS = inspectord=$(FLEETSMOKE_INSP),w0=$(FLEETSMOKE_W0),w1=$(FLEETSMOKE_W1)
+fleet-smoke: bin
+	@set -e; dir="$(SMOKEDIR)"; [ -n "$$dir" ] || dir=$$(mktemp -d); mkdir -p "$$dir"; \
+	./bin/schedinspect train -trace SDSC-SP2 -jobs 2000 \
+		-epochs 1 -batch 4 -seqlen 64 -seed 42 -model $$dir/model.gob; \
+	./bin/inspectord -model $$dir/model.gob -addr $(FLEETSMOKE_INSP) -seed 7 \
+		-online -online-interval 500ms -online-min-window 256 \
+		-online-dir $$dir/promoted >$$dir/inspectord.log 2>&1 & insp=$$!; \
+	./bin/schedinspect train-worker -trace SDSC-SP2 -jobs 2000 \
+		-epochs 100000 -batch 4 -seqlen 64 -seed 42 \
+		-world 2 -rank 0 -peers $$dir/w0.sock,$$dir/w1.sock \
+		-metrics-addr $(FLEETSMOKE_W0) -model $$dir/rank0.gob \
+		>$$dir/w0.log 2>&1 & w0=$$!; \
+	./bin/schedinspect train-worker -trace SDSC-SP2 -jobs 2000 \
+		-epochs 100000 -batch 4 -seqlen 64 -seed 42 \
+		-world 2 -rank 1 -peers $$dir/w0.sock,$$dir/w1.sock \
+		-metrics-addr $(FLEETSMOKE_W1) -model $$dir/rank1.gob \
+		>$$dir/w1.log 2>&1 & w1=$$!; \
+	./bin/schedinspect fleet -targets $(FLEETSMOKE_TARGETS) \
+		-addr $(FLEETSMOKE_ADDR) -interval 1s -window 30s \
+		>$$dir/fleet.log 2>&1 & fl=$$!; \
+	trap 'kill $$insp $$w0 $$w1 $$fl 2>/dev/null; wait 2>/dev/null' EXIT; \
+	rc=0; ./bin/fleetsmoke -fleet http://$(FLEETSMOKE_ADDR) \
+		-inspectord http://$(FLEETSMOKE_INSP) -seed 1 \
+		-out $$dir/fleet-status.json || rc=$$?; \
+	if [ $$rc -eq 0 ]; then \
+		./bin/schedinspect fleet -once -targets $(FLEETSMOKE_TARGETS) \
+			-interval 1s || rc=$$?; fi; \
+	kill $$insp $$w0 $$w1 $$fl 2>/dev/null; wait 2>/dev/null || true; trap - EXIT; \
+	if [ $$rc -ne 0 ]; then for f in inspectord w0 w1 fleet; do \
+		echo "--- $$f.log ---"; cat $$dir/$$f.log; done; exit $$rc; fi; \
+	[ -n "$(KEEP_SMOKEDIR)$(SMOKEDIR)" ] || rm -rf $$dir
+
 # fuzz-smoke gives every fuzz target a short budget (override with
 # FUZZTIME=...) — enough to catch shallow parser/decoder regressions on
 # every CI run without turning the pipeline into a fuzzing campaign.
@@ -161,5 +221,6 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSWF$$' -fuzztime $(FUZZTIME) ./internal/workload/
 	$(GO) test -run '^$$' -fuzz '^FuzzLoadCheckpoint$$' -fuzztime $(FUZZTIME) ./internal/ckpt/
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFTrace$$' -fuzztime $(FUZZTIME) ./internal/explain/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseProm$$' -fuzztime $(FUZZTIME) ./internal/fleet/
 
 verify: build vet fmt-check race test

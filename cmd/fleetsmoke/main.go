@@ -1,0 +1,327 @@
+// Command fleetsmoke is the traffic driver and assertion half of the
+// `make fleet-smoke` gate. Against a live three-process fleet — one
+// inspectord running the online loop and two train-workers exchanging
+// over unix sockets, all watched by a `schedinspect fleet` daemon — it
+// drives synthetic /v1/inspect traffic and then requires, before the
+// deadline, that the fleet plane has demonstrably done its whole job:
+//
+//   - every target scraped and up, with history deep enough for rates;
+//   - the inspectord target showing a positive decision rate and at
+//     least one windowed histogram quantile;
+//   - both workers aggregated into the cross-rank dist summary with a
+//     positive fleet-wide epoch rate;
+//   - the rank-straggler rule evaluated (fired or not — the smoke proves
+//     the rule runs against real per-rank data, not that the tiny fleet
+//     is skewed);
+//   - at least one online candidate verdict surfaced end to end:
+//     recorded by the loop, served at /v1/online/history, passed through
+//     into /v1/fleet;
+//   - the plane's own /metrics agreeing that all targets are up.
+//
+// The final /v1/fleet JSON is written to -out so CI can attach it as a
+// failure artifact.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"schedinspector/internal/fleet"
+)
+
+func main() {
+	var (
+		fleetBase = flag.String("fleet", "http://127.0.0.1:18655", "fleet daemon base URL")
+		inspBase  = flag.String("inspectord", "http://127.0.0.1:18652", "inspectord base URL (traffic sink)")
+		timeout   = flag.Duration("timeout", 150*time.Second, "deadline for all fleet assertions to hold")
+		out       = flag.String("out", "", "write the final /v1/fleet JSON here (CI artifact)")
+		seed      = flag.Int64("seed", 1, "traffic generator seed")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	var last *fleet.FleetStatus
+	fail := func(format string, args ...any) {
+		if last != nil {
+			dumpStatus(*out, last)
+			fmt.Fprintf(os.Stderr, "fleetsmoke: last /v1/fleet: %s\n", mustJSON(last))
+		}
+		fmt.Fprintf(os.Stderr, "fleetsmoke: FAIL: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	if err := waitUp(client, *inspBase+"/healthz", 30*time.Second); err != nil {
+		fail("inspectord never became healthy: %v", err)
+	}
+	if err := waitUp(client, *fleetBase+"/v1/fleet", 30*time.Second); err != nil {
+		fail("fleet daemon never became healthy: %v", err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	sent := 0
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := postInspect(client, *inspBase, rng); err != nil {
+				fail("inspect request %d failed: %v", sent, err)
+			}
+			sent++
+		}
+	}
+	send(1500)
+	fmt.Printf("fleetsmoke: %d decisions sent, polling /v1/fleet (timeout %v)\n", sent, *timeout)
+
+	deadline := time.Now().Add(*timeout)
+	for {
+		st, err := fetchFleet(client, *fleetBase)
+		if err != nil {
+			fail("GET /v1/fleet: %v", err)
+		}
+		last = st
+		unmet := assess(st)
+		if len(unmet) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			fail("assertions unmet at deadline: %s", strings.Join(unmet, "; "))
+		}
+		send(25) // keep the loop fed and the rates moving
+		time.Sleep(300 * time.Millisecond)
+	}
+
+	// The plane's own exposition must agree — parsed with the same parser
+	// the plane itself scrapes with.
+	ups, err := selfUpGauges(client, *fleetBase)
+	if err != nil {
+		fail("fleet /metrics: %v", err)
+	}
+	for _, t := range last.Targets {
+		if ups[t.Name] != 1 {
+			fail("fleet self-metric target_up{target=%q} = %v, want 1", t.Name, ups[t.Name])
+		}
+	}
+
+	dumpStatus(*out, last)
+	insp := targetByKind(last, "inspectord")
+	fmt.Printf("fleetsmoke: PASS — %d targets up (%d workers, %.2f epochs/s fleet-wide, skew %.2fx), "+
+		"%.1f decisions/s, %d online verdicts surfaced, %d alerts active, %d decisions driven\n",
+		len(last.Targets), last.Dist.Workers, last.Dist.EpochRate, last.Dist.SkewRatio,
+		insp.Rates["schedinspector_inspect_decisions_total"],
+		len(onlineCandidates(insp)), len(last.Alerts), sent)
+}
+
+// assess returns the not-yet-true assertions, empty when the gate holds.
+func assess(st *fleet.FleetStatus) []string {
+	var unmet []string
+	if len(st.Targets) != 3 {
+		return []string{fmt.Sprintf("want 3 targets, have %d", len(st.Targets))}
+	}
+	workers := 0
+	for _, t := range st.Targets {
+		if !t.Up {
+			unmet = append(unmet, fmt.Sprintf("target %s down (%s)", t.Name, t.LastErr))
+		}
+		if t.Points < 2 {
+			unmet = append(unmet, fmt.Sprintf("target %s has %d history points, need 2+ for rates", t.Name, t.Points))
+		}
+		if t.Kind == "train-worker" {
+			workers++
+		}
+	}
+	if len(unmet) > 0 {
+		return unmet
+	}
+	if workers != 2 {
+		unmet = append(unmet, fmt.Sprintf("want 2 train-workers, classified %d", workers))
+	}
+
+	insp := targetByKind(st, "inspectord")
+	if insp == nil {
+		return append(unmet, "no target classified as inspectord")
+	}
+	if r := insp.Rates["schedinspector_inspect_decisions_total"]; !(r > 0) {
+		unmet = append(unmet, fmt.Sprintf("inspect decision rate not positive (%v)", r))
+	}
+	quantiles := 0
+	for _, t := range st.Targets {
+		quantiles += len(t.Quantiles)
+	}
+	if quantiles == 0 {
+		unmet = append(unmet, "no histogram quantile derived on any target")
+	}
+	if st.Dist == nil || st.Dist.Workers != 2 {
+		unmet = append(unmet, "dist summary missing or not aggregating both workers")
+	} else if !(st.Dist.EpochRate > 0) {
+		unmet = append(unmet, fmt.Sprintf("fleet-wide epoch rate not positive (%v)", st.Dist.EpochRate))
+	}
+
+	straggler := false
+	for _, rs := range st.Rules {
+		if rs.Name == "rank-straggler" && rs.Evaluated > 0 {
+			straggler = true
+		}
+	}
+	if !straggler {
+		unmet = append(unmet, "rank-straggler rule never evaluated")
+	}
+
+	if len(onlineCandidates(insp)) == 0 {
+		unmet = append(unmet, "no online candidate verdict surfaced in /v1/fleet yet")
+	}
+	return unmet
+}
+
+func targetByKind(st *fleet.FleetStatus, kind string) *fleet.TargetStatus {
+	for i := range st.Targets {
+		if st.Targets[i].Kind == kind {
+			return &st.Targets[i]
+		}
+	}
+	return nil
+}
+
+type candidate struct {
+	Verdict string `json:"verdict"`
+}
+
+func onlineCandidates(t *fleet.TargetStatus) []candidate {
+	if t == nil || len(t.OnlineHistory) == 0 {
+		return nil
+	}
+	var doc struct {
+		Candidates []candidate `json:"candidates"`
+	}
+	if err := json.Unmarshal(t.OnlineHistory, &doc); err != nil {
+		return nil
+	}
+	var withVerdict []candidate
+	for _, c := range doc.Candidates {
+		if c.Verdict != "" {
+			withVerdict = append(withVerdict, c)
+		}
+	}
+	return withVerdict
+}
+
+func fetchFleet(c *http.Client, base string) (*fleet.FleetStatus, error) {
+	resp, err := c.Get(base + "/v1/fleet")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var st fleet.FleetStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// selfUpGauges scrapes the fleet daemon's own /metrics with the fleet
+// parser and returns schedinspector_fleet_target_up by target label.
+func selfUpGauges(c *http.Client, base string) (map[string]float64, error) {
+	client := fleet.Client{HTTP: c}
+	s, err := client.Scrape(context.Background(), base+"/metrics")
+	if err != nil {
+		return nil, err
+	}
+	f := s.Family("schedinspector_fleet_target_up")
+	if f == nil {
+		return nil, fmt.Errorf("schedinspector_fleet_target_up not exported")
+	}
+	ups := make(map[string]float64)
+	for _, sm := range f.Samples {
+		ups[sm.Labels["target"]] = sm.Value
+	}
+	return ups, nil
+}
+
+func waitUp(c *http.Client, url string, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := c.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("status %d", resp.StatusCode)
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+type inspectQueued struct {
+	Wait  float64 `json:"wait"`
+	Est   float64 `json:"est"`
+	Procs int     `json:"procs"`
+}
+
+type inspectReq struct {
+	Job        inspectQueued   `json:"job"`
+	FreeProcs  int             `json:"free_procs"`
+	TotalProcs int             `json:"total_procs"`
+	Queue      []inspectQueued `json:"queue"`
+}
+
+func postInspect(c *http.Client, base string, rng *rand.Rand) error {
+	var req inspectReq
+	req.Job.Wait = float64(rng.Intn(3600))
+	req.Job.Est = float64(60 + rng.Intn(7200))
+	req.Job.Procs = 1 + rng.Intn(32)
+	req.TotalProcs = 128
+	req.FreeProcs = rng.Intn(129)
+	req.Queue = []inspectQueued{{Wait: float64(rng.Intn(600)), Est: 600, Procs: 1 + rng.Intn(8)}}
+	body, _ := json.Marshal(req)
+	resp, err := c.Post(base+"/v1/inspect", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var out struct {
+		Reject *bool `json:"reject"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("torn response body: %w", err)
+	}
+	if out.Reject == nil {
+		return fmt.Errorf("incomplete verdict")
+	}
+	return nil
+}
+
+func mustJSON(v any) string {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Sprintf("<marshal: %v>", err)
+	}
+	return string(b)
+}
+
+func dumpStatus(path string, st *fleet.FleetStatus) {
+	if path == "" {
+		return
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fleetsmoke: writing %s: %v\n", path, err)
+	}
+}

@@ -22,6 +22,10 @@
 //	GET  /v1/online/status — continual-learning loop state machine (only
 //	                        with -online: window fill, retrains, shadow-eval
 //	                        scores, promotions/rejections/rollbacks)
+//	GET  /v1/online/history — bounded audit ring of candidate verdicts
+//	                        (only with -online: both shadow-eval arms,
+//	                        margin, promoted/rejected/rolled-back, the
+//	                        generation each verdict produced)
 //	GET  /debug/pprof     — CPU/heap/goroutine profiling (only with -pprof)
 //
 // -model accepts either a saved model (schedinspect train's model.gob) or
@@ -185,6 +189,7 @@ func main() {
 			log.Fatalf("inspectord: %v", err)
 		}
 		mux.Handle("/v1/online/status", loop.StatusHandler())
+		mux.Handle("/v1/online/history", loop.HistoryHandler())
 		stopOnline = loop.Start(context.Background())
 		log.Printf("inspectord: online continual learning enabled (interval %v, margin %+g, min window %d)",
 			*onlineInterval, *onlineMargin, *onlineMinWindow)

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"schedinspector/internal/fleet"
+)
+
+// cmdFleet runs the fleet observability plane: scrape every configured
+// schedinspector process, derive rates and quantiles, evaluate the health
+// rules, and either serve the aggregate (dashboard + /v1/fleet +
+// /metrics) or print it once and exit.
+func cmdFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	targetsSpec := fs.String("targets", "", "comma-separated name=host:port targets to scrape")
+	targetsFile := fs.String("targets-file", "", "file with one name=host:port target per line (#-comments ok)")
+	interval := fs.Duration("interval", 2*time.Second, "scrape cycle interval")
+	timeout := fs.Duration("timeout", 0, "per-target scrape timeout (default min(interval, 5s))")
+	window := fs.Duration("window", time.Minute, "window for derived rates and quantiles")
+	historyCap := fs.Int("history", fleet.DefaultHistoryCap, "scrapes retained per target")
+	addr := fs.String("addr", "127.0.0.1:9099", "address for the dashboard, /v1/fleet, and /metrics")
+	once := fs.Bool("once", false, "poll long enough to derive rates, print the fleet table, exit (non-zero if any target is down)")
+	onceJSON := fs.Bool("json", false, "with -once, print the /v1/fleet JSON document instead of the table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		targets []fleet.Target
+		err     error
+	)
+	switch {
+	case *targetsSpec != "" && *targetsFile != "":
+		return fmt.Errorf("fleet: -targets and -targets-file are mutually exclusive")
+	case *targetsSpec != "":
+		targets, err = fleet.ParseTargets(*targetsSpec)
+	case *targetsFile != "":
+		targets, err = fleet.LoadTargetsFile(*targetsFile)
+	default:
+		return fmt.Errorf("fleet: -targets or -targets-file is required")
+	}
+	if err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	p := fleet.NewPoller(fleet.Config{
+		Targets:    targets,
+		Interval:   *interval,
+		Timeout:    *timeout,
+		Window:     *window,
+		HistoryCap: *historyCap,
+		Logf:       logger.Printf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *once {
+		return fleetOnce(ctx, p, *interval, *onceJSON)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: p.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Printf("fleet: watching %d targets, dashboard at http://%s/", len(targets), ln.Addr())
+
+	go p.Run(ctx)
+	select {
+	case <-ctx.Done():
+	case err := <-errc:
+		return fmt.Errorf("fleet: serve: %w", err)
+	}
+	shctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	return srv.Shutdown(shctx)
+}
+
+// fleetOnce runs two scrape cycles one interval apart — the minimum for
+// counter rates and windowed quantiles to exist — prints the aggregate,
+// and exits non-zero when any target is down.
+func fleetOnce(ctx context.Context, p *fleet.Poller, interval time.Duration, asJSON bool) error {
+	p.RunOnce(ctx)
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(interval):
+	}
+	p.RunOnce(ctx)
+
+	status := p.Status()
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(status); err != nil {
+			return err
+		}
+	} else if err := fleet.WriteTable(os.Stdout, status); err != nil {
+		return err
+	}
+	for _, t := range status.Targets {
+		if !t.Up {
+			return fmt.Errorf("fleet: target %s is down: %s", t.Name, t.LastErr)
+		}
+	}
+	return nil
+}

@@ -18,8 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -55,6 +53,8 @@ func main() {
 		err = cmdInspect(os.Args[2:])
 	case "explain":
 		err = cmdExplain(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	case "version":
 		fmt.Println("schedinspect", version.String())
 	case "-h", "--help", "help":
@@ -78,6 +78,7 @@ func usage() {
   schedinspect stats -trace NAME [-swf FILE]
   schedinspect inspect -trace NAME [-swf FILE] -policy SJF -model IN.gob
   schedinspect explain -in FLIGHT[.jsonl|.ftrace] [-convert OUT.jsonl | -job ID | -window T0:T1 | -top-rejected N | -feature-stats]
+  schedinspect fleet -targets name=host:port,... | -targets-file FILE [-interval D] [-window D] [-addr HOST:PORT] [-once [-json]]
   schedinspect version
 
 train and eval accept -flight OUT to record a decision flight trace (spans +
@@ -235,26 +236,20 @@ func cmdTrain(args []string, worker bool) error {
 	// -metrics-addr turns a worker into a scrape target: the dist exchange
 	// metrics plus the rollout telemetry its trainer already emits, on the
 	// same Prometheus text endpoint inspectord serves. The listener is
-	// opened before training so a bad address fails fast.
+	// opened before training so a bad address fails fast, and shut down
+	// gracefully when the worker exits so in-flight scrapes drain instead
+	// of tearing.
 	var distMetrics *dist.Metrics
 	if worker && *metricsAddr != "" {
 		reg := obs.NewRegistry()
 		distMetrics = dist.NewMetrics(reg)
 		cfg.Metrics = core.NewRolloutMetrics(reg)
 		version.Register(reg, *features)
-		ln, err := net.Listen("tcp", *metricsAddr)
+		shutdownMetrics, err := serveWorkerMetrics(reg, *metricsAddr, *rank)
 		if err != nil {
 			return fmt.Errorf("metrics-addr: %w", err)
 		}
-		defer ln.Close()
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg.Handler())
-		go func() {
-			if serr := http.Serve(ln, mux); serr != nil && !errors.Is(serr, net.ErrClosed) {
-				fmt.Fprintf(os.Stderr, "metrics-addr: %v\n", serr)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "rank %d serving /metrics on %s\n", *rank, ln.Addr())
+		defer shutdownMetrics()
 	}
 	if *telemetry != "" {
 		f, err := os.Create(*telemetry)

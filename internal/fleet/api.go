@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the fleet plane's HTTP surface:
+//
+//	GET /           single-file HTML dashboard (no external assets)
+//	GET /v1/fleet   the FleetStatus JSON document
+//	GET /metrics    the plane's own exposition (so a fleet of fleets,
+//	                or plain curl, can watch the watcher)
+func (p *Poller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(p.Status()); err != nil {
+			// Too late for a status code; the encoder already wrote.
+			p.cfg.Logf("fleet: encode /v1/fleet: %v", err)
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := p.cfg.Registry.WriteProm(w); err != nil {
+			p.cfg.Logf("fleet: write /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(dashboardHTML))
+	})
+	return mux
+}

@@ -1,0 +1,52 @@
+package fleet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzParseProm asserts two properties over arbitrary input: the parser
+// never panics, and any input it accepts is a fixed point after one
+// render — parse→render→parse→render must reproduce the first render
+// byte-for-byte (the second pass must also succeed). Seeded with real
+// obs.Registry output plus the malformed shapes the unit tests reject.
+func FuzzParseProm(f *testing.F) {
+	f.Add([]byte(renderSeed()))
+	f.Add([]byte("# HELP m help\n# TYPE m counter\nm{a=\"b\"} 5\n"))
+	f.Add([]byte("# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1.5\nh_count 3\n"))
+	f.Add([]byte("m NaN\nm2 +Inf 1712345678\n"))
+	f.Add([]byte("m{l=\"v\" 1\n"))
+	f.Add([]byte("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1.5\n"))
+	f.Add([]byte("torn line without newline"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseProm(data)
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if _, err := s.WriteTo(&first); err != nil {
+			t.Fatalf("render of accepted input failed: %v", err)
+		}
+		s2, err := ParseProm(first.Bytes())
+		if err != nil {
+			t.Fatalf("re-parse of own render failed: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if _, err := s2.WriteTo(&second); err != nil {
+			t.Fatalf("second render failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("render not a fixed point\n--- first ---\n%s--- second ---\n%s",
+				first.Bytes(), second.Bytes())
+		}
+	})
+}
+
+func renderSeed() string {
+	var buf bytes.Buffer
+	if err := buildTestRegistry(rand.New(rand.NewSource(7))).WriteProm(&buf); err != nil {
+		panic(err)
+	}
+	return buf.String()
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistQuantileUniform(t *testing.T) {
+	// 100 observations spread evenly over (0, 10] in ten unit buckets: the
+	// estimator must reproduce the underlying uniform distribution.
+	uppers := LinearBuckets(1, 1, 10)
+	cum := make([]uint64, 11)
+	for i := range uppers {
+		cum[i] = uint64((i + 1) * 10)
+	}
+	cum[10] = 100 // nothing above the last bound
+	for _, tc := range []struct{ q, want float64 }{
+		{0.5, 5}, {0.9, 9}, {0.25, 2.5}, {1, 10}, {0, 0},
+	} {
+		if got := HistQuantile(tc.q, uppers, cum); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("q=%v: got %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistQuantileEdgeCases(t *testing.T) {
+	uppers := []float64{1, 2}
+
+	if got := HistQuantile(0.5, uppers, []uint64{0, 0, 0}); !math.IsNaN(got) {
+		t.Errorf("empty histogram: got %v, want NaN", got)
+	}
+	if got := HistQuantile(0.5, uppers, []uint64{0, 0}); !math.IsNaN(got) {
+		t.Errorf("malformed cum length: got %v, want NaN", got)
+	}
+	if got := HistQuantile(math.NaN(), uppers, []uint64{1, 2, 3}); !math.IsNaN(got) {
+		t.Errorf("NaN q: got %v, want NaN", got)
+	}
+	// Everything in the +Inf bucket: the highest finite bound is the only
+	// defensible estimate.
+	if got := HistQuantile(0.99, uppers, []uint64{0, 0, 7}); got != 2 {
+		t.Errorf("+Inf bucket: got %v, want 2", got)
+	}
+	// No finite bounds at all.
+	if got := HistQuantile(0.5, nil, []uint64{5}); !math.IsNaN(got) {
+		t.Errorf("no finite buckets: got %v, want NaN", got)
+	}
+	// q clamped.
+	if got := HistQuantile(7, uppers, []uint64{1, 1, 1}); got != 1 {
+		t.Errorf("q>1: got %v, want 1", got)
+	}
+	// First bucket with a non-positive bound reports the bound itself.
+	if got := HistQuantile(0.1, []float64{-1, 5}, []uint64{4, 4, 4}); got != -1 {
+		t.Errorf("non-positive first bound: got %v, want -1", got)
+	}
+}
+
+func TestHistogramQuantileLive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test_seconds", "", LinearBuckets(0.1, 0.1, 10), nil)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100) // 0.01..1.00 uniform
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("p50 = %v, want ~0.5", got)
+	}
+	if got := h.Quantile(0.99); math.Abs(got-0.99) > 0.05 {
+		t.Errorf("p99 = %v, want ~0.99", got)
+	}
+	uppers, cum := h.Buckets()
+	if len(uppers) != 10 || len(cum) != 11 {
+		t.Fatalf("Buckets shape: %d uppers, %d cum", len(uppers), len(cum))
+	}
+	if cum[10] != 100 {
+		t.Errorf("total = %d, want 100", cum[10])
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cum not monotone at %d: %v", i, cum)
+		}
+	}
+}

@@ -106,6 +106,10 @@ type Config struct {
 	PromotedDir  string
 	PromotedKeep int // checkpoints retained in PromotedDir (default 4)
 
+	// HistoryCap bounds the candidate-verdict audit ring served at
+	// /v1/online/history (default DefaultHistoryCap).
+	HistoryCap int
+
 	Logf func(string, ...any) // optional progress log
 }
 
@@ -176,6 +180,9 @@ type Loop struct {
 	mu sync.Mutex
 	st Status
 
+	// hist is the bounded candidate-verdict audit ring (own lock).
+	hist *candHistory
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	doneCh   chan struct{}
@@ -202,6 +209,7 @@ func New(cfg Config) (*Loop, error) {
 	l := &Loop{
 		cfg:     cfg,
 		m:       newMetricsSet(cfg.Registry),
+		hist:    newCandHistory(cfg.HistoryCap),
 		lastSeq: -1,
 		stopCh:  make(chan struct{}),
 		doneCh:  make(chan struct{}),
@@ -302,7 +310,7 @@ func (l *Loop) RunCycle(ctx context.Context) {
 	if l.prev != nil {
 		// A promotion from the last cycle is on probation: judge it on
 		// this cycle's fresh holdout before training anything new.
-		l.confirmOrRollback(holdTrace, seed)
+		l.confirmOrRollback(holdTrace, seed, cycle)
 		return
 	}
 
@@ -323,6 +331,8 @@ func (l *Loop) RunCycle(ctx context.Context) {
 		// the candidate is not.
 		l.m.rejections.Inc()
 		l.mirror(func(st *Status) { st.Rejections++ })
+		l.record(CandidateRecord{Cycle: cycle, Generation: gen, Verdict: "diverged",
+			WindowSize: len(l.window), Detail: "non-finite weights after retrain"})
 		l.fail(fmt.Errorf("candidate diverged (non-finite weights)"))
 		return
 	}
@@ -335,6 +345,10 @@ func (l *Loop) RunCycle(ctx context.Context) {
 	if errC != nil || errS != nil || math.IsNaN(candScore) || math.IsNaN(servScore) {
 		l.m.rejections.Inc()
 		l.mirror(func(st *Status) { st.Rejections++ })
+		l.record(CandidateRecord{Cycle: cycle, Generation: gen, Verdict: "eval-failed",
+			CandidateScore: candScore, ServingScore: servScore,
+			WindowSize: len(l.window),
+			Detail:     fmt.Sprintf("cand err=%v serving err=%v", errC, errS)})
 		l.fail(fmt.Errorf("shadow eval: cand=(%v, %v) serving=(%v, %v)", candScore, errC, servScore, errS))
 		return
 	}
@@ -348,6 +362,9 @@ func (l *Loop) RunCycle(ctx context.Context) {
 	if candScore-servScore < l.cfg.Margin {
 		l.m.rejections.Inc()
 		l.mirror(func(st *Status) { st.Rejections++ })
+		l.record(CandidateRecord{Cycle: cycle, Generation: gen, Verdict: "rejected",
+			CandidateScore: candScore, ServingScore: servScore,
+			Margin: candScore - servScore, WindowSize: len(l.window)})
 		l.cfg.Logf("online: cycle %d rejected candidate (%.4f vs %.4f, margin %.4f)",
 			cycle, candScore, servScore, l.cfg.Margin)
 		return
@@ -360,6 +377,11 @@ func (l *Loop) RunCycle(ctx context.Context) {
 	if _, now := l.cfg.Serving.Current(); now != gen {
 		l.m.rejections.Inc()
 		l.mirror(func(st *Status) { st.Rejections++ })
+		l.record(CandidateRecord{Cycle: cycle, Generation: now, Verdict: "stale-generation",
+			CandidateScore: candScore, ServingScore: servScore,
+			Margin:     candScore - servScore,
+			WindowSize: len(l.window),
+			Detail:     fmt.Sprintf("serving generation moved %d -> %d during retrain", gen, now)})
 		l.fail(fmt.Errorf("serving generation moved %d -> %d during retrain; discarding candidate", gen, now))
 		return
 	}
@@ -371,6 +393,9 @@ func (l *Loop) RunCycle(ctx context.Context) {
 		st.Promotions++
 		st.ServingGeneration = newGen
 	})
+	l.record(CandidateRecord{Cycle: cycle, Generation: newGen, Verdict: "promoted",
+		CandidateScore: candScore, ServingScore: servScore,
+		Margin: candScore - servScore, WindowSize: len(l.window)})
 	l.cfg.Logf("online: cycle %d promoted candidate at generation %d (%.4f vs %.4f)",
 		cycle, newGen, candScore, servScore)
 	l.persistPromoted(candCk, newGen)
@@ -381,7 +406,7 @@ func (l *Loop) RunCycle(ctx context.Context) {
 // more than the margin, the promotion regressed and is rolled back (a
 // forward swap to the old weights — generations never rewind). Either way
 // the probation ends.
-func (l *Loop) confirmOrRollback(hold *workload.Trace, seed int64) {
+func (l *Loop) confirmOrRollback(hold *workload.Trace, seed int64, cycle uint64) {
 	prev := l.prev
 	l.prev = nil
 	if _, now := l.cfg.Serving.Current(); now != l.prevGen {
@@ -407,10 +432,17 @@ func (l *Loop) confirmOrRollback(hold *workload.Trace, seed int64) {
 			st.Rollbacks++
 			st.ServingGeneration = gen
 		})
+		l.record(CandidateRecord{Cycle: cycle, Generation: gen, Verdict: "rolled-back",
+			CandidateScore: servScore, ServingScore: prevScore,
+			Margin: servScore - prevScore, WindowSize: len(l.window),
+			Detail: "promoted model regressed on the probation holdout"})
 		l.cfg.Logf("online: rolled back promotion (%.4f vs %.4f) at generation %d",
 			servScore, prevScore, gen)
 		return
 	}
+	l.record(CandidateRecord{Cycle: cycle, Generation: l.prevGen, Verdict: "confirmed",
+		CandidateScore: servScore, ServingScore: prevScore,
+		Margin: servScore - prevScore, WindowSize: len(l.window)})
 	l.cfg.Logf("online: promotion confirmed (%.4f vs %.4f)", servScore, prevScore)
 }
 

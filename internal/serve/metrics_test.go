@@ -3,11 +3,14 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"math"
 	"net/http/httptest"
 	"regexp"
 	"strconv"
 	"strings"
 	"testing"
+
+	"schedinspector/internal/obs"
 )
 
 func scrape(t *testing.T, h *Handler) string {
@@ -92,6 +95,39 @@ func TestMetricsReflectTraffic(t *testing.T) {
 	if !strings.Contains(page, "# TYPE schedinspector_http_requests_total counter") ||
 		!strings.Contains(page, "# TYPE schedinspector_http_request_duration_seconds histogram") {
 		t.Errorf("missing TYPE lines:\n%s", page)
+	}
+}
+
+func TestScrapeTimeQuantileGauges(t *testing.T) {
+	h := testHandler(t)
+
+	// No waves yet: the quantile gauges render NaN (absent-by-convention),
+	// never a fake zero latency.
+	page := scrape(t, h)
+	if v := metricValue(t, page, "schedinspector_inspect_coalesce_seconds_p99", ""); !math.IsNaN(v) {
+		t.Errorf("empty-histogram p99 = %v, want NaN", v)
+	}
+
+	for i := 0; i < 20; i++ {
+		if rec := postInspect(t, h, validRequest()); rec.Code != 200 {
+			t.Fatalf("inspect status %d", rec.Code)
+		}
+	}
+	page = scrape(t, h)
+	p50 := metricValue(t, page, "schedinspector_inspect_coalesce_seconds_p50", "")
+	p99 := metricValue(t, page, "schedinspector_inspect_coalesce_seconds_p99", "")
+	if math.IsNaN(p50) || math.IsNaN(p99) || p50 < 0 || p99 < p50 {
+		t.Errorf("coalesce quantiles p50=%v p99=%v", p50, p99)
+	}
+	ws50 := metricValue(t, page, "schedinspector_inspect_wave_size_p50", "")
+	if math.IsNaN(ws50) || ws50 < 0.5 {
+		t.Errorf("wave-size p50 = %v, want >= ~1", ws50)
+	}
+	// The gauges must agree with the estimator run over the rendered
+	// buckets — same math on both surfaces.
+	uppers, cum := h.coalesce.Buckets()
+	if est := obs.HistQuantile(0.99, uppers, cum); math.Abs(est-p99) > 1e-9 {
+		t.Errorf("gauge p99 %v != estimator %v", p99, est)
 	}
 }
 

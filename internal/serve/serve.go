@@ -230,6 +230,24 @@ func NewHandlerOptions(insp *core.Inspector, opts Options) *Handler {
 	h.coalesce = h.reg.Histogram("schedinspector_inspect_coalesce_seconds",
 		"Time a decision waited in the queue before its wave was forwarded.",
 		obs.ExponentialBuckets(1e-6, 4, 10), nil)
+	// Scrape-time quantile gauges over the live wave histograms, through
+	// the same estimator the fleet plane uses on parsed expositions — a
+	// dashboard reading either surface sees the same number for the same
+	// buckets. GaugeFunc evaluates at render, so the gauges cost nothing
+	// between scrapes; NaN (empty histogram) renders as NaN, which every
+	// Prometheus-compatible consumer treats as absent.
+	h.reg.GaugeFunc("schedinspector_inspect_coalesce_seconds_p50",
+		"Median queue wait before a decision's wave forwarded (lifetime buckets).", nil,
+		func() float64 { return h.coalesce.Quantile(0.5) })
+	h.reg.GaugeFunc("schedinspector_inspect_coalesce_seconds_p99",
+		"p99 queue wait before a decision's wave forwarded (lifetime buckets).", nil,
+		func() float64 { return h.coalesce.Quantile(0.99) })
+	h.reg.GaugeFunc("schedinspector_inspect_wave_size_p50",
+		"Median decisions answered per batched forward (lifetime buckets).", nil,
+		func() float64 { return h.waveSize.Quantile(0.5) })
+	h.reg.GaugeFunc("schedinspector_inspect_wave_size_p99",
+		"p99 decisions answered per batched forward (lifetime buckets).", nil,
+		func() float64 { return h.waveSize.Quantile(0.99) })
 	h.auditFailures = h.reg.Counter("schedinspector_audit_write_failures_total",
 		"Decision audit log encode/write failures (the decision still serves).", nil)
 	h.mux.HandleFunc("/v1/inspect", h.instrument("/v1/inspect", h.inspect))
